@@ -1,0 +1,217 @@
+package pifsrec
+
+// Benchmark targets, one per table/figure of the paper's evaluation. Each
+// BenchmarkFigNN regenerates the corresponding experiment through the
+// harness (the same code cmd/pifsbench runs); the micro-benchmarks at the
+// bottom exercise the hot paths of the substrate packages.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and a single figure with e.g.:
+//
+//	go test -bench=BenchmarkFig12a
+
+import (
+	"io"
+	"testing"
+
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/dram"
+	"pifsrec/internal/engine"
+	"pifsrec/internal/harness"
+	"pifsrec/internal/isa"
+	"pifsrec/internal/osb"
+	"pifsrec/internal/pifs"
+	"pifsrec/internal/sim"
+	"pifsrec/internal/trace"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Characterization figures (§III).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Main evaluation (§VI-C).
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
+func BenchmarkFig12c(b *testing.B) { benchExperiment(b, "fig12c") }
+func BenchmarkFig12d(b *testing.B) { benchExperiment(b, "fig12d") }
+func BenchmarkFig12e(b *testing.B) { benchExperiment(b, "fig12e") }
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+func BenchmarkFig13c(b *testing.B) { benchExperiment(b, "fig13c") }
+func BenchmarkFig13d(b *testing.B) { benchExperiment(b, "fig13d") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+
+// Cost, throughput, and hardware overheads (§VI-D/E).
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// DESIGN.md extra ablations.
+func BenchmarkAblationInterleave(b *testing.B) { benchExperiment(b, "ablation-interleave") }
+func BenchmarkAblationMigration(b *testing.B)  { benchExperiment(b, "ablation-migration") }
+
+// BenchmarkSchemes measures simulated SLS cost per scheme on the default
+// configuration, reporting the simulated ns/bag alongside wall time.
+func BenchmarkSchemes(b *testing.B) {
+	model := dlrm.RMC4().Scaled(64)
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: model.Tables, RowsPerTable: model.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 32, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scheme := range engine.Schemes() {
+		b.Run(string(scheme), func(b *testing.B) {
+			var last engine.Result
+			for i := 0; i < b.N; i++ {
+				last, err = engine.Run(engine.Config{Scheme: scheme, Model: model, Trace: tr, Seed: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.NSPerBag, "simNs/bag")
+		})
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkDRAMStreaming(b *testing.B) {
+	geo := dram.Table2Geometry()
+	tim := dram.DDR5_4800()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c := dram.NewController(eng, geo, tim)
+		for r := 0; r < 1000; r++ {
+			c.Submit(&dram.Request{Addr: uint64(r * 64), Done: func(sim.Tick) {}})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkDRAMRandom(b *testing.B) {
+	geo := dram.Table2Geometry()
+	tim := dram.DDR4_3200()
+	rng := sim.NewRNG(1)
+	addrs := make([]uint64, 1000)
+	for i := range addrs {
+		addrs[i] = (rng.Uint64() % uint64(geo.Capacity())) &^ 63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c := dram.NewController(eng, geo, tim)
+		for _, a := range addrs {
+			c.Submit(&dram.Request{Addr: a, Done: func(sim.Tick) {}})
+		}
+		eng.Run()
+	}
+}
+
+func BenchmarkISAEncodeDecode(b *testing.B) {
+	in, err := isa.NewDataFetch(7, 0x1000, 3, 12, 64, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		slot, err := in.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := isa.Decode(slot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOSBAccess(b *testing.B) {
+	for _, pol := range []osb.Policy{osb.HTR, osb.LRU, osb.FIFO} {
+		b.Run(string(pol), func(b *testing.B) {
+			buf := osb.New(512<<10, pol)
+			rng := sim.NewRNG(2)
+			z := sim.NewZipf(rng, 1<<16, 1.0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Access(uint64(z.Draw())*64, 64)
+			}
+		})
+	}
+}
+
+func BenchmarkProcessCore(b *testing.B) {
+	eng := sim.NewEngine()
+	core := pifs.New(eng, pifs.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := pifs.ClusterKey{SPID: 1, SumTag: uint8(i % 64)}
+		core.Configure(key, 1, 256, 0, func(sim.Tick) {})
+		core.Data(key)
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkSLSMath(b *testing.B) {
+	tbl := dlrm.NewEmbeddingTable(4096, 64, sim.NewRNG(3))
+	indices := []uint32{1, 100, 200, 300, 400, 500, 600, 700}
+	out := make([]float32, 64)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(indices) * 64 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.SLS(indices, nil, out)
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for _, kind := range trace.Kinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := trace.Generate(trace.Spec{
+					Kind: kind, Tables: 8, RowsPerTable: 65536,
+					Batches: 1, BatchSize: 16, BagSize: 32, Seed: uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInference(b *testing.B) {
+	cfg := dlrm.RMC1().Scaled(64)
+	cfg.Tables = 8
+	m, err := dlrm.NewModel(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := dlrm.Query{Dense: make([]float32, cfg.DenseFeatures)}
+	for t := 0; t < cfg.Tables; t++ {
+		q.Bags = append(q.Bags, []uint32{1, 2, 3, 4})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Infer(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

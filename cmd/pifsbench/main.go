@@ -1,0 +1,39 @@
+// Command pifsbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	pifsbench -experiment fig12a     # one experiment
+//	pifsbench -experiment all        # everything (EXPERIMENTS.md source)
+//	pifsbench -list                  # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pifsrec/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var err error
+	if *experiment == "all" {
+		err = harness.RunAll(os.Stdout)
+	} else {
+		err = harness.Run(*experiment, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifsbench:", err)
+		os.Exit(1)
+	}
+}

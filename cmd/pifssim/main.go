@@ -1,0 +1,77 @@
+// Command pifssim runs one simulation configuration and prints the
+// measured counters.
+//
+// Usage:
+//
+//	pifssim -scheme PIFS-Rec -model RMC4 -trace Meta -devices 8
+//	pifssim -scheme Pond -model RMC2 -tracefile trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pifsrec"
+)
+
+func main() {
+	scheme := flag.String("scheme", "PIFS-Rec", "Pond, Pond+PM, BEACON, RecNMP, PIFS-Rec")
+	model := flag.String("model", "RMC4", "RMC1..RMC4 (Table I)")
+	scale := flag.Int64("scale", 64, "row-count divisor so runs stay laptop-sized")
+	kind := flag.String("trace", "Meta", "synthetic trace kind: Meta, ZF, NoL, Um, Rm")
+	traceFile := flag.String("tracefile", "", "trace file (overrides -trace)")
+	batches := flag.Int("batches", 2, "batches to simulate")
+	devices := flag.Int("devices", 4, "CXL memory devices")
+	switches := flag.Int("switches", 1, "fabric switches (PIFS-Rec only)")
+	hosts := flag.Int("hosts", 1, "concurrent hosts")
+	buffer := flag.Int("buffer", 512<<10, "on-switch buffer bytes (PIFS-Rec)")
+	flag.Parse()
+
+	var m pifsrec.ModelConfig
+	found := false
+	for _, cand := range pifsrec.Models() {
+		if cand.Name == *model {
+			m = cand.Scaled(*scale)
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "pifssim: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	var tr *pifsrec.Trace
+	var err error
+	if *traceFile != "" {
+		tr, err = pifsrec.LoadTrace(*traceFile)
+	} else {
+		tr, err = pifsrec.TraceFor(pifsrec.TraceKind(*kind), m, *batches)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifssim:", err)
+		os.Exit(1)
+	}
+
+	res, err := pifsrec.Simulate(pifsrec.Config{
+		Scheme:      pifsrec.Scheme(*scheme),
+		Model:       m,
+		Trace:       tr,
+		Devices:     *devices,
+		Switches:    *switches,
+		Hosts:       *hosts,
+		BufferBytes: *buffer,
+		Seed:        1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifssim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(res)
+	fmt.Printf("host link: %d B down, %d B up\n", res.HostLinkDownBytes, res.HostLinkUpBytes)
+	fmt.Printf("local DRAM reads: %d; device reads: %v\n", res.LocalDRAMReads, res.DeviceReads)
+	fmt.Printf("buffer hit ratio: %.1f%%; pages migrated: %d; migration stall: %d ns\n",
+		100*res.BufferHitRatio, res.PagesMigrated, res.MigrationStallNS)
+	fmt.Printf("device access balance: mean %.0f, std %.0f\n", res.DeviceAccessMean, res.DeviceAccessStd)
+}

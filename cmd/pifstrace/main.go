@@ -1,0 +1,92 @@
+// Command pifstrace generates and inspects DLRM access-trace files.
+//
+// Usage:
+//
+//	pifstrace -kind ZF -tables 16 -rows 65536 -batches 4 -out trace.bin
+//	pifstrace -inspect trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pifsrec/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "Meta", "trace kind: Meta, ZF, NoL, Um, Rm")
+	tables := flag.Int("tables", 16, "embedding tables")
+	rows := flag.Int64("rows", 65536, "rows per table")
+	batches := flag.Int("batches", 4, "batches to generate")
+	batchSize := flag.Int("batch", 16, "queries per batch")
+	bag := flag.Int("bag", 32, "pooling factor (indices per lookup)")
+	zipfS := flag.Float64("zipf", 0, "zipf exponent (0 = default 0.95)")
+	seed := flag.Uint64("seed", 7, "generator seed")
+	out := flag.String("out", "", "output file (required unless -inspect)")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	flag.Parse()
+
+	if *inspect != "" {
+		summarize(*inspect)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "pifstrace: -out or -inspect required")
+		os.Exit(2)
+	}
+	tr, err := trace.Generate(trace.Spec{
+		Kind:         trace.Kind(*kind),
+		Tables:       *tables,
+		RowsPerTable: *rows,
+		Batches:      *batches,
+		BatchSize:    *batchSize,
+		BagSize:      *bag,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifstrace:", err)
+		os.Exit(1)
+	}
+	if err := tr.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "pifstrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d bags, %d lookups\n", *out, len(tr.Bags), tr.TotalLookups())
+}
+
+func summarize(path string) {
+	tr, err := trace.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifstrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace %q: %d tables x %d rows, %d bags, %d lookups\n",
+		tr.Name, tr.Tables, tr.RowsPerTable, len(tr.Bags), tr.TotalLookups())
+
+	counts := tr.AccessCounts()
+	var all []int
+	total := 0
+	for _, m := range counts {
+		for _, c := range m {
+			all = append(all, c)
+			total += c
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	fmt.Printf("distinct rows touched: %d\n", len(all))
+	for _, pct := range []float64{0.001, 0.01, 0.1} {
+		n := int(float64(len(all)) * pct)
+		if n < 1 {
+			n = 1
+		}
+		head := 0
+		for i := 0; i < n && i < len(all); i++ {
+			head += all[i]
+		}
+		fmt.Printf("hottest %5.1f%% of rows hold %5.1f%% of accesses\n",
+			pct*100, 100*float64(head)/float64(total))
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: build a scaled RMC1 system, run one SLS trace under Pond and
+// PIFS-Rec, and print the latency comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pifsrec"
+)
+
+func main() {
+	model := pifsrec.RMC1().Scaled(16) // 1024 rows/table: instant to run
+	tr, err := pifsrec.TraceFor(pifsrec.MetaLike, model, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model %s: %d tables x %d rows x %d B rows (%.1f MiB)\n",
+		model.Name, model.Tables, model.EmbRows, model.RowBytes(),
+		float64(model.TotalEmbeddingBytes())/(1<<20))
+	fmt.Printf("trace: %d SLS bags, %d row lookups\n\n", len(tr.Bags), tr.TotalLookups())
+
+	var pond float64
+	for _, scheme := range []pifsrec.Scheme{pifsrec.Pond, pifsrec.PIFSRec} {
+		res, err := pifsrec.Simulate(pifsrec.Config{
+			Scheme: scheme,
+			Model:  model,
+			Trace:  tr,
+			Seed:   1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		if scheme == pifsrec.Pond {
+			pond = res.NSPerBag
+		} else {
+			fmt.Printf("\nPIFS-Rec speedup over Pond: %.2fx\n", pond/res.NSPerBag)
+		}
+	}
+}

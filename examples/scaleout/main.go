@@ -1,0 +1,40 @@
+// Scaleout: sweep fabric-switch counts in a multi-host CXL 3.0-style fabric
+// (one host and one memory device per switch, fully connected) and show how
+// multi-layer instruction forwarding scales SLS throughput (§IV-C, Fig 13c).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pifsrec"
+)
+
+func main() {
+	model := pifsrec.RMC4().Scaled(64)
+
+	fmt.Println("switches  hosts  devices  ns/bag  speedup")
+	var base float64
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		tr, err := pifsrec.TraceFor(pifsrec.MetaLike, model, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pifsrec.Simulate(pifsrec.Config{
+			Scheme:   pifsrec.PIFSRec,
+			Model:    model,
+			Trace:    tr,
+			Switches: n,
+			Devices:  n,
+			Hosts:    n,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.NSPerBag
+		}
+		fmt.Printf("%8d  %5d  %7d  %6.0f  %6.2fx\n", n, n, n, res.NSPerBag, base/res.NSPerBag)
+	}
+}

@@ -1,0 +1,98 @@
+package cxl
+
+import "fmt"
+
+// BiasMode is the coherence mode of a pooled-memory region (§II-B1).
+type BiasMode uint8
+
+const (
+	// HostBias requires control instructions on device accesses to keep
+	// coherence, adding overhead.
+	HostBias BiasMode = iota
+	// DeviceBias locks the region for the device's exclusive use; PIFS-Rec
+	// designates the embedding-table region device-bias (§IV-A1).
+	DeviceBias
+)
+
+func (m BiasMode) String() string {
+	if m == DeviceBias {
+		return "device-bias"
+	}
+	return "host-bias"
+}
+
+// BiasPageBytes is the granularity the bias table tracks. CXL specifies a
+// 4 KB bias table ("Bias Table (4KB per table)", §II-B1); we track bias per
+// 4 KB page, matching the OS page granularity of the software stack.
+const BiasPageBytes = 4096
+
+// BiasTable records the bias mode of each page in a region. The zero mode
+// is host-bias, so a fresh table is entirely host-biased, matching how
+// regions come up before the runtime flips embedding pages to device bias.
+type BiasTable struct {
+	modes []BiasMode
+	flips int64
+}
+
+// NewBiasTable covers capacity bytes (rounded up to whole pages).
+func NewBiasTable(capacity int64) *BiasTable {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cxl: bias table over non-positive capacity %d", capacity))
+	}
+	pages := (capacity + BiasPageBytes - 1) / BiasPageBytes
+	return &BiasTable{modes: make([]BiasMode, pages)}
+}
+
+// Pages returns the number of tracked pages.
+func (b *BiasTable) Pages() int { return len(b.modes) }
+
+// Flips returns how many bias transitions have occurred; each flip costs a
+// coherence round trip in the real protocol.
+func (b *BiasTable) Flips() int64 { return b.flips }
+
+// Mode returns the bias of the page containing addr.
+func (b *BiasTable) Mode(addr uint64) BiasMode {
+	return b.modes[b.pageIndex(addr)]
+}
+
+// SetMode flips the page containing addr to mode, returning true when the
+// mode actually changed.
+func (b *BiasTable) SetMode(addr uint64, mode BiasMode) bool {
+	i := b.pageIndex(addr)
+	if b.modes[i] == mode {
+		return false
+	}
+	b.modes[i] = mode
+	b.flips++
+	return true
+}
+
+// SetRange flips every page overlapping [addr, addr+size) and returns the
+// number of pages whose mode changed.
+func (b *BiasTable) SetRange(addr uint64, size int64, mode BiasMode) int {
+	if size <= 0 {
+		return 0
+	}
+	first := int(addr / BiasPageBytes)
+	last := int((addr + uint64(size) - 1) / BiasPageBytes)
+	if last >= len(b.modes) {
+		panic(fmt.Sprintf("cxl: bias range [%#x,+%d) beyond table (%d pages)", addr, size, len(b.modes)))
+	}
+	changed := 0
+	for i := first; i <= last; i++ {
+		if b.modes[i] != mode {
+			b.modes[i] = mode
+			b.flips++
+			changed++
+		}
+	}
+	return changed
+}
+
+func (b *BiasTable) pageIndex(addr uint64) int {
+	i := int(addr / BiasPageBytes)
+	if i >= len(b.modes) {
+		panic(fmt.Sprintf("cxl: bias lookup at %#x beyond table (%d pages)", addr, len(b.modes)))
+	}
+	return i
+}

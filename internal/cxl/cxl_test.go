@@ -1,0 +1,222 @@
+package cxl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pifsrec/internal/dram"
+	"pifsrec/internal/sim"
+)
+
+func TestLinkSingleTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "t", 64, 20) // 64 GB/s, 20 ns propagation
+	var at sim.Tick
+	l.Send(640, func(a sim.Tick) { at = a })
+	eng.Run()
+	// 640 B at 64 B/ns = 10 ns serialization + 20 ns propagation = 30.
+	if at != 30 {
+		t.Fatalf("delivery at %d, want 30", at)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "t", 64, 0)
+	var first, second sim.Tick
+	l.Send(6400, func(a sim.Tick) { first = a })  // 100 ns
+	l.Send(6400, func(a sim.Tick) { second = a }) // queues behind
+	eng.Run()
+	if first != 100 || second != 200 {
+		t.Fatalf("deliveries at %d/%d, want 100/200", first, second)
+	}
+	st := l.Stats()
+	if st.Transfers != 2 || st.BytesMoved != 12800 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.WaitNS != 100 {
+		t.Fatalf("WaitNS = %d, want 100 (second transfer queued)", st.WaitNS)
+	}
+}
+
+func TestLinkMinimumOccupancy(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "t", 64, 0)
+	var at sim.Tick
+	l.Send(16, func(a sim.Tick) { at = a }) // sub-ns payload
+	eng.Run()
+	if at < 1 {
+		t.Fatalf("delivery at %d, want >= 1 ns occupancy", at)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "t", 64, 0)
+	l.Send(6400, nil) // 100 ns busy
+	eng.At(200, func() {})
+	eng.Run()
+	u := l.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestLinkBandwidthProperty(t *testing.T) {
+	// Property: N back-to-back transfers of the same size complete no faster
+	// than bytes/bandwidth allows.
+	f := func(nRaw, szRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		size := (int(szRaw%64) + 1) * 64
+		eng := sim.NewEngine()
+		l := NewLink(eng, "t", 64, 0)
+		var last sim.Tick
+		for i := 0; i < n; i++ {
+			l.Send(size, func(a sim.Tick) {
+				if a > last {
+					last = a
+				}
+			})
+		}
+		eng.Run()
+		minNS := sim.Tick(float64(n*size) / 64.0)
+		return last >= minNS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkPanicsOnBadArgs(t *testing.T) {
+	eng := sim.NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero bandwidth accepted")
+			}
+		}()
+		NewLink(eng, "bad", 0, 0)
+	}()
+	l := NewLink(eng, "ok", 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-byte send accepted")
+		}
+	}()
+	l.Send(0, nil)
+}
+
+func smallGeo() dram.Geometry {
+	return dram.Geometry{Channels: 2, Ranks: 1, BankGroups: 2, Banks: 2, Rows: 256, RowBytes: 1024}
+}
+
+func TestType3AccessAddsControllerOverhead(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := NewType3(eng, DeviceConfig{Geometry: smallGeo(), Timing: dram.DDR4_3200()})
+	var cxlDone sim.Tick
+	dev.Access(0, false, func(at sim.Tick) { cxlDone = at })
+	eng.Run()
+
+	// Compare against raw DRAM.
+	eng2 := sim.NewEngine()
+	raw := dram.NewController(eng2, smallGeo(), dram.DDR4_3200())
+	var rawDone sim.Tick
+	raw.Submit(&dram.Request{Addr: 0, Done: func(at sim.Tick) { rawDone = at }})
+	eng2.Run()
+
+	if cxlDone != rawDone+AccessPenaltyNS/2 {
+		t.Fatalf("CXL access %d ns, raw %d ns: controller share not applied", cxlDone, rawDone)
+	}
+}
+
+func TestType3AccessVector(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := NewType3(eng, DeviceConfig{Geometry: smallGeo(), Timing: dram.DDR4_3200()})
+	var done sim.Tick
+	dev.AccessVector(0, 256, false, func(at sim.Tick) { done = at })
+	eng.Run()
+	if done == 0 {
+		t.Fatal("vector access never completed")
+	}
+	if st := dev.Stats(); st.Reads != 4 {
+		t.Fatalf("256 B vector should issue 4 line reads, got %d", st.Reads)
+	}
+}
+
+func TestType3VectorValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := NewType3(eng, DeviceConfig{Geometry: smallGeo(), Timing: dram.DDR4_3200()})
+	defer func() {
+		if recover() == nil {
+			t.Error("non-multiple vector size accepted")
+		}
+	}()
+	dev.AccessVector(0, 100, false, func(sim.Tick) {})
+}
+
+func TestType3OutOfRangePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := NewType3(eng, DeviceConfig{Geometry: smallGeo(), Timing: dram.DDR4_3200()})
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access accepted")
+		}
+	}()
+	dev.Access(uint64(dev.Capacity()), false, func(sim.Tick) {})
+}
+
+func TestBiasTableDefaultsHostBias(t *testing.T) {
+	b := NewBiasTable(64 * 1024)
+	if b.Pages() != 16 {
+		t.Fatalf("Pages = %d, want 16", b.Pages())
+	}
+	if b.Mode(0) != HostBias {
+		t.Fatal("fresh table not host-biased")
+	}
+}
+
+func TestBiasTableSetRange(t *testing.T) {
+	b := NewBiasTable(16 * BiasPageBytes)
+	changed := b.SetRange(BiasPageBytes, 3*BiasPageBytes, DeviceBias)
+	if changed != 3 {
+		t.Fatalf("changed = %d, want 3", changed)
+	}
+	if b.Mode(0) != HostBias || b.Mode(BiasPageBytes) != DeviceBias ||
+		b.Mode(3*BiasPageBytes) != DeviceBias || b.Mode(4*BiasPageBytes) != HostBias {
+		t.Fatal("range flip applied to wrong pages")
+	}
+	// Idempotent: re-flipping costs nothing.
+	if again := b.SetRange(BiasPageBytes, 3*BiasPageBytes, DeviceBias); again != 0 {
+		t.Fatalf("idempotent flip changed %d pages", again)
+	}
+	if b.Flips() != 3 {
+		t.Fatalf("Flips = %d, want 3", b.Flips())
+	}
+}
+
+func TestBiasTablePartialPageRange(t *testing.T) {
+	b := NewBiasTable(16 * BiasPageBytes)
+	// A 1-byte range spanning a page boundary must flip both pages.
+	if changed := b.SetRange(BiasPageBytes-1, 2, DeviceBias); changed != 2 {
+		t.Fatalf("boundary range flipped %d pages, want 2", changed)
+	}
+}
+
+func TestBiasTableStringNames(t *testing.T) {
+	if HostBias.String() != "host-bias" || DeviceBias.String() != "device-bias" {
+		t.Fatal("bias mode names wrong")
+	}
+}
+
+func TestDuplexIndependentDirections(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDuplex(eng, "fb", 64, 10)
+	var up, down sim.Tick
+	d.Down.Send(6400, func(a sim.Tick) { down = a })
+	d.Up.Send(6400, func(a sim.Tick) { up = a })
+	eng.Run()
+	// Directions do not contend: both should finish at 110 ns.
+	if down != 110 || up != 110 {
+		t.Fatalf("down=%d up=%d, want both 110", down, up)
+	}
+}

@@ -1,0 +1,124 @@
+package cxl
+
+import (
+	"fmt"
+
+	"pifsrec/internal/dram"
+	"pifsrec/internal/sim"
+)
+
+// Type3Device is a CXL memory expander: DDR DIMMs behind a CXL controller
+// (§II-B1). It exposes 64 B line reads/writes; larger row vectors are issued
+// as multiple line accesses by callers. The device adds the CXL controller's
+// share of the access penalty on top of raw DRAM service time.
+type Type3Device struct {
+	eng *sim.Engine
+
+	// ID is the device index within its pool; PortID is the fabric port the
+	// device is bound to (its cacheID when recognized by the FM endpoint).
+	ID     int
+	PortID uint16
+
+	ctl *dram.Controller
+	// ctrlNS is the CXL controller processing overhead applied to each
+	// access on the device side.
+	ctrlNS sim.Tick
+
+	stats DeviceStats
+}
+
+// DeviceStats counts device-side activity. The fabric's embedding-spreading
+// policy (§IV-B3) reads these to find overloaded devices.
+type DeviceStats struct {
+	Reads  int64
+	Writes int64
+}
+
+// DeviceConfig parameterizes a Type 3 expander.
+type DeviceConfig struct {
+	ID       int
+	PortID   uint16
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	// CtrlNS is the device-side controller overhead per access; the default
+	// when zero is half the CXL access penalty (the other half is paid in
+	// the link path's port overheads).
+	CtrlNS sim.Tick
+}
+
+// NewType3 builds a memory expander device.
+func NewType3(eng *sim.Engine, cfg DeviceConfig) *Type3Device {
+	ctrl := cfg.CtrlNS
+	if ctrl == 0 {
+		ctrl = AccessPenaltyNS / 2
+	}
+	return &Type3Device{
+		eng:    eng,
+		ID:     cfg.ID,
+		PortID: cfg.PortID,
+		ctl:    dram.NewController(eng, cfg.Geometry, cfg.Timing),
+		ctrlNS: ctrl,
+	}
+}
+
+// Capacity returns the device's byte capacity.
+func (d *Type3Device) Capacity() int64 { return d.ctl.Geometry().Capacity() }
+
+// Stats returns device counters.
+func (d *Type3Device) Stats() DeviceStats { return d.stats }
+
+// DRAMStats returns the backing DRAM controller statistics.
+func (d *Type3Device) DRAMStats() dram.Stats { return d.ctl.Stats() }
+
+// Access performs one 64 B access at device-local address addr and calls
+// done when the data is available at the device's CXL port.
+func (d *Type3Device) Access(addr uint64, write bool, done func(at sim.Tick)) {
+	if done == nil {
+		panic("cxl: device access without completion callback")
+	}
+	if addr >= uint64(d.Capacity()) {
+		panic(fmt.Sprintf("cxl: device %d access at %#x beyond capacity %#x", d.ID, addr, d.Capacity()))
+	}
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	ctrl := d.ctrlNS
+	d.ctl.Submit(&dram.Request{
+		Addr:    addr,
+		IsWrite: write,
+		Done: func(at sim.Tick) {
+			d.eng.At(at+ctrl, func() { done(at + ctrl) })
+		},
+	})
+}
+
+// AccessVector performs a vecBytes-long row-vector access starting at addr,
+// split into 64 B line requests, and calls done when the last line is out of
+// the controller.
+func (d *Type3Device) AccessVector(addr uint64, vecBytes int, write bool, done func(at sim.Tick)) {
+	if vecBytes <= 0 || vecBytes%64 != 0 {
+		panic(fmt.Sprintf("cxl: vector size %d not a positive multiple of 64", vecBytes))
+	}
+	lines := vecBytes / 64
+	remaining := lines
+	var last sim.Tick
+	for i := 0; i < lines; i++ {
+		d.Access(addr+uint64(i*64), write, func(at sim.Tick) {
+			if at > last {
+				last = at
+			}
+			remaining--
+			if remaining == 0 {
+				done(last)
+			}
+		})
+	}
+}
+
+// String describes the device.
+func (d *Type3Device) String() string {
+	return fmt.Sprintf("cxl.Type3(id=%d port=%d cap=%.1fGB)", d.ID, d.PortID,
+		float64(d.Capacity())/(1<<30))
+}

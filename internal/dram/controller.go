@@ -1,0 +1,301 @@
+package dram
+
+import (
+	"fmt"
+
+	"pifsrec/internal/sim"
+)
+
+// Request is one 64 B access submitted to a Controller. Done fires exactly
+// once when the last data beat leaves (read) or is written into the array
+// (write), with the completion time.
+type Request struct {
+	Addr    uint64
+	IsWrite bool
+	Done    func(at sim.Tick)
+
+	submit sim.Tick
+	loc    Loc
+}
+
+// Stats aggregates controller activity across all channels.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	RowHits    int64
+	RowMisses  int64
+	BytesMoved int64
+	// QueueDelay accumulates ticks requests spent waiting before their
+	// column command issued; divide by Reads+Writes for the mean.
+	QueueDelay int64
+}
+
+// Controller models one memory node: a set of channels, each with its own
+// bank array and FR-FCFS scheduler. It is not safe for concurrent use; all
+// interaction happens on the simulation goroutine.
+type Controller struct {
+	eng   *sim.Engine
+	geo   Geometry
+	tim   Timing
+	chans []*channel
+	stats Stats
+}
+
+// NewController builds a controller. It panics on invalid configuration:
+// configurations are produced by code, not users, so an invalid one is a
+// programming error.
+func NewController(eng *sim.Engine, geo Geometry, tim Timing) *Controller {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	if err := tim.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{eng: eng, geo: geo, tim: tim}
+	c.chans = make([]*channel, geo.Channels)
+	for i := range c.chans {
+		c.chans[i] = newChannel(c, i)
+	}
+	return c
+}
+
+// Geometry returns the node organization.
+func (c *Controller) Geometry() Geometry { return c.geo }
+
+// Timing returns the device timing set.
+func (c *Controller) Timing() Timing { return c.tim }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Submit queues a request. The request's Done callback is required.
+func (c *Controller) Submit(r *Request) {
+	if r.Done == nil {
+		panic("dram: request without Done callback")
+	}
+	r.submit = c.eng.Now()
+	r.loc = c.geo.Map(r.Addr)
+	c.chans[r.loc.Channel].enqueue(r)
+}
+
+// PeakBandwidthGBs returns the node's aggregate theoretical bandwidth.
+func (c *Controller) PeakBandwidthGBs() float64 {
+	return c.tim.PeakBandwidthGBs() * float64(c.geo.Channels)
+}
+
+// frWindow bounds how deep FR-FCFS looks for row hits; beyond this the
+// scheduler falls back to FIFO order so old requests cannot starve.
+const frWindow = 16
+
+// busAhead bounds how far command issue may run ahead of the data bus, in
+// burst slots. It provides back-pressure so queued traffic does not schedule
+// unboundedly far into the future while leaving enough lookahead to overlap
+// activations on other banks with in-flight transfers.
+const busAhead = 16
+
+type bank struct {
+	openRow    int // -1 when closed
+	colReadyAt sim.Tick
+	preReadyAt sim.Tick
+	actReadyAt sim.Tick
+}
+
+type channel struct {
+	ctl     *Controller
+	idx     int
+	banks   []bank
+	rankAct []sim.Tick // per-rank earliest next activate (tRRD)
+	busFree sim.Tick
+	queue   []*Request
+	kicked  bool
+
+	// precomputed timing in ns
+	cl, rcd, rp, ras, rc, wr, rtp, cwl, rrd, burst sim.Tick
+	refi, rfc                                      sim.Tick
+}
+
+func newChannel(c *Controller, idx int) *channel {
+	t := c.tim
+	ch := &channel{
+		ctl:     c,
+		idx:     idx,
+		banks:   make([]bank, c.geo.TotalBanks()),
+		rankAct: make([]sim.Tick, c.geo.Ranks),
+		cl:      t.ns(t.CL), rcd: t.ns(t.RCD), rp: t.ns(t.RP),
+		ras: t.ns(t.RAS), rc: t.ns(t.RC), wr: t.ns(t.WR),
+		rtp: t.ns(t.RTP), cwl: t.ns(t.CWL), rrd: t.ns(t.RRD),
+		burst: t.BurstNS(),
+		refi:  t.ns(t.REFI), rfc: t.ns(t.RFC),
+	}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	return ch
+}
+
+func (ch *channel) enqueue(r *Request) {
+	ch.queue = append(ch.queue, r)
+	ch.kick(ch.ctl.eng.Now())
+}
+
+func (ch *channel) kick(at sim.Tick) {
+	if ch.kicked {
+		return
+	}
+	ch.kicked = true
+	ch.ctl.eng.At(at, func() {
+		ch.kicked = false
+		ch.service()
+	})
+}
+
+// refreshAdjust pushes t past any refresh window it falls into. Refresh is
+// modelled as the channel being unavailable for tRFC at the *end* of each
+// tREFI interval — an analytic stand-in for staggered per-rank refresh that
+// costs the same bandwidth fraction (tRFC/tREFI) while keeping time zero
+// serviceable.
+func (ch *channel) refreshAdjust(t sim.Tick) sim.Tick {
+	if ch.refi == 0 {
+		return t
+	}
+	pos := t % ch.refi
+	if pos >= ch.refi-ch.rfc {
+		return t + (ch.refi - pos)
+	}
+	return t
+}
+
+// service issues column commands until the data bus runs far enough ahead,
+// then reschedules itself. Issuing back-to-back (rather than one command
+// per bus slot) lets activations on one bank overlap transfers from others,
+// which is where bank-level parallelism comes from.
+func (ch *channel) service() {
+	now := ch.ctl.eng.Now()
+	for len(ch.queue) > 0 {
+		// Back-pressure: when the data bus is booked out past the lookahead
+		// window, resume once it drains back inside it.
+		if ch.busFree > now+sim.Tick(busAhead)*ch.burst {
+			ch.kick(ch.busFree - sim.Tick(busAhead)*ch.burst)
+			return
+		}
+
+		pick := ch.pick(now)
+		r := ch.queue[pick]
+		ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+
+		cmdAt, doneAt := ch.issue(r, now)
+		st := &ch.ctl.stats
+		st.BytesMoved += accessBytes
+		st.QueueDelay += cmdAt - r.submit
+		if r.IsWrite {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		ch.ctl.eng.At(doneAt, func() { r.Done(doneAt) })
+	}
+}
+
+// starveNS caps how long FR-FCFS may reorder past the oldest request; once
+// the head of the queue has waited this long it is served unconditionally.
+const starveNS = 200
+
+// pick selects the next request: the first row hit within the FR-FCFS
+// window, otherwise the request whose bank is ready earliest (FIFO on ties).
+// The head of the queue is served unconditionally once it has aged past
+// starveNS, so row-hit streams cannot starve other banks.
+func (ch *channel) pick(now sim.Tick) int {
+	if now-ch.queue[0].submit > starveNS {
+		return 0
+	}
+	limit := len(ch.queue)
+	if limit > frWindow {
+		limit = frWindow
+	}
+	best := 0
+	bestReady := sim.MaxTick
+	for i := 0; i < limit; i++ {
+		r := ch.queue[i]
+		b := &ch.banks[ch.ctl.geo.bankIndex(r.loc)]
+		if b.openRow == r.loc.Row {
+			return i // row hit: take the oldest hit immediately
+		}
+		ready := b.actReadyAt
+		if ready < now {
+			ready = now
+		}
+		if ready < bestReady {
+			bestReady = ready
+			best = i
+		}
+	}
+	return best
+}
+
+// issue runs the bank state machine for one request starting no earlier
+// than now and returns the column command time and data completion time.
+func (ch *channel) issue(r *Request, now sim.Tick) (cmdAt, doneAt sim.Tick) {
+	g := ch.ctl.geo
+	b := &ch.banks[g.bankIndex(r.loc)]
+	st := &ch.ctl.stats
+
+	if b.openRow != r.loc.Row {
+		st.RowMisses++
+		t := now
+		if b.openRow >= 0 {
+			// Precharge the open row first.
+			preAt := max64(t, b.preReadyAt)
+			t = preAt + ch.rp
+			if t < b.actReadyAt {
+				t = b.actReadyAt
+			}
+		} else if b.actReadyAt > t {
+			t = b.actReadyAt
+		}
+		if ra := ch.rankAct[r.loc.Rank]; ra > t {
+			t = ra
+		}
+		actAt := ch.refreshAdjust(t)
+		b.openRow = r.loc.Row
+		b.colReadyAt = actAt + ch.rcd
+		b.preReadyAt = actAt + ch.ras
+		b.actReadyAt = actAt + ch.rc
+		ch.rankAct[r.loc.Rank] = actAt + ch.rrd
+	} else {
+		st.RowHits++
+	}
+
+	cmdAt = max64(now, b.colReadyAt)
+	cmdAt = ch.refreshAdjust(cmdAt)
+
+	if r.IsWrite {
+		dataAt := max64(cmdAt+ch.cwl, ch.busFree)
+		doneAt = dataAt + ch.burst
+		ch.busFree = doneAt
+		if p := doneAt + ch.wr; p > b.preReadyAt {
+			b.preReadyAt = p
+		}
+	} else {
+		dataAt := max64(cmdAt+ch.cl, ch.busFree)
+		doneAt = dataAt + ch.burst
+		ch.busFree = doneAt
+		if p := cmdAt + ch.rtp; p > b.preReadyAt {
+			b.preReadyAt = p
+		}
+	}
+	b.colReadyAt = cmdAt + ch.burst
+	return cmdAt, doneAt
+}
+
+func max64(a, b sim.Tick) sim.Tick {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String describes the controller configuration.
+func (c *Controller) String() string {
+	return fmt.Sprintf("dram.Controller(%s, %d ch × %d ranks, %.1f GB/s peak)",
+		c.tim.Name, c.geo.Channels, c.geo.Ranks, c.PeakBandwidthGBs())
+}

@@ -1,0 +1,127 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the physical organization of a memory node.
+type Geometry struct {
+	Channels   int
+	Ranks      int
+	BankGroups int
+	Banks      int // banks per bank group
+	Rows       int
+	RowBytes   int // bytes per row (page size of the DRAM array)
+	// InterleaveBytes is the channel-interleave granularity: consecutive
+	// chunks of this size round-robin across channels. Zero means the
+	// 64 B access unit (fine-grained striping); memory-pooled systems
+	// typically interleave at page granularity so row vectors stay within
+	// one channel and enjoy row-buffer hits.
+	InterleaveBytes int
+}
+
+// Table2Geometry returns the per-device organization from Table II of the
+// paper (4 channels, 2 ranks, 64 GB per DIMM), scaled so that simulated
+// footprints stay laptop-sized while the channel/rank/bank parallelism the
+// experiments exercise is preserved.
+func Table2Geometry() Geometry {
+	return Geometry{
+		Channels:   4,
+		Ranks:      2,
+		BankGroups: 4,
+		Banks:      4,
+		Rows:       1 << 16,
+		RowBytes:   8192,
+	}
+}
+
+// Validate reports an error for degenerate geometries.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.Ranks <= 0 || g.BankGroups <= 0 || g.Banks <= 0 ||
+		g.Rows <= 0 || g.RowBytes <= 0 {
+		return fmt.Errorf("dram: geometry fields must all be positive: %+v", g)
+	}
+	if g.RowBytes%accessBytes != 0 {
+		return fmt.Errorf("dram: RowBytes (%d) must be a multiple of the %d-byte access unit", g.RowBytes, accessBytes)
+	}
+	if g.InterleaveBytes != 0 && (g.InterleaveBytes%accessBytes != 0 || g.RowBytes%g.InterleaveBytes != 0) {
+		return fmt.Errorf("dram: InterleaveBytes (%d) must divide RowBytes and be a multiple of %d", g.InterleaveBytes, accessBytes)
+	}
+	return nil
+}
+
+// interleave returns the effective channel-interleave granularity.
+func (g Geometry) interleave() uint64 {
+	if g.InterleaveBytes == 0 {
+		return accessBytes
+	}
+	return uint64(g.InterleaveBytes)
+}
+
+// Capacity returns the total byte capacity of the node.
+func (g Geometry) Capacity() int64 {
+	return int64(g.Channels) * int64(g.Ranks) * int64(g.BankGroups) *
+		int64(g.Banks) * int64(g.Rows) * int64(g.RowBytes)
+}
+
+// TotalBanks returns the number of independently schedulable banks per
+// channel.
+func (g Geometry) TotalBanks() int { return g.Ranks * g.BankGroups * g.Banks }
+
+// accessBytes is the access granularity: one 64 B cache line per request,
+// matching both the CPU line size and the CXL.mem flit payload granularity.
+const accessBytes = 64
+
+// Loc identifies one access-granularity block in the device hierarchy.
+type Loc struct {
+	Channel int
+	Rank    int
+	Group   int
+	Bank    int
+	Row     int
+	Col     int // column index in accessBytes units within the row
+}
+
+// bankIndex flattens rank/group/bank into a per-channel bank identifier.
+func (g Geometry) bankIndex(l Loc) int {
+	return (l.Rank*g.BankGroups+l.Group)*g.Banks + l.Bank
+}
+
+// Map decodes a physical byte address into a device location using a
+// channel-interleaved RoRaBgBaCoCh layout: consecutive InterleaveBytes
+// chunks round-robin across channels; within a channel, addresses walk
+// columns within a row, then banks, bank groups, ranks, and finally rows.
+func (g Geometry) Map(addr uint64) Loc {
+	il := g.interleave()
+	chunk := addr / il
+	offset := addr % il
+	var l Loc
+	l.Channel = int(chunk % uint64(g.Channels))
+	// Channel-local byte address, then decompose into 64 B columns.
+	local := (chunk/uint64(g.Channels))*il + offset
+	block := local / accessBytes
+	cols := uint64(g.RowBytes / accessBytes)
+	l.Col = int(block % cols)
+	block /= cols
+	l.Bank = int(block % uint64(g.Banks))
+	block /= uint64(g.Banks)
+	l.Group = int(block % uint64(g.BankGroups))
+	block /= uint64(g.BankGroups)
+	l.Rank = int(block % uint64(g.Ranks))
+	block /= uint64(g.Ranks)
+	l.Row = int(block % uint64(g.Rows))
+	return l
+}
+
+// Unmap is the inverse of Map; it reconstructs the base address of a block.
+func (g Geometry) Unmap(l Loc) uint64 {
+	cols := uint64(g.RowBytes / accessBytes)
+	block := uint64(l.Row)
+	block = block*uint64(g.Ranks) + uint64(l.Rank)
+	block = block*uint64(g.BankGroups) + uint64(l.Group)
+	block = block*uint64(g.Banks) + uint64(l.Bank)
+	block = block*cols + uint64(l.Col)
+	local := block * accessBytes
+	il := g.interleave()
+	chunk := local / il
+	offset := local % il
+	return (chunk*uint64(g.Channels)+uint64(l.Channel))*il + offset
+}

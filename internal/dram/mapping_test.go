@@ -1,0 +1,106 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryCapacity(t *testing.T) {
+	g := Table2Geometry()
+	want := int64(4) * 2 * 4 * 4 * (1 << 16) * 8192
+	if got := g.Capacity(); got != want {
+		t.Fatalf("Capacity = %d, want %d", got, want)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	g := Table2Geometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := g
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = g
+	bad.RowBytes = 100 // not a multiple of 64
+	if bad.Validate() == nil {
+		t.Error("non-multiple RowBytes accepted")
+	}
+}
+
+func TestMapUnmapRoundTrip(t *testing.T) {
+	g := Table2Geometry()
+	cap := uint64(g.Capacity())
+	f := func(seed uint64) bool {
+		addr := (seed % cap) &^ (accessBytes - 1)
+		return g.Unmap(g.Map(addr)) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapChannelInterleave(t *testing.T) {
+	g := Table2Geometry()
+	// Consecutive 64 B lines must round-robin across channels.
+	for i := 0; i < 16; i++ {
+		l := g.Map(uint64(i * accessBytes))
+		if l.Channel != i%g.Channels {
+			t.Fatalf("line %d mapped to channel %d, want %d", i, l.Channel, i%g.Channels)
+		}
+	}
+}
+
+func TestMapColumnsBeforeBanks(t *testing.T) {
+	g := Table2Geometry()
+	// Walking addresses within one channel should first sweep columns of the
+	// same row/bank before switching banks.
+	stride := uint64(accessBytes * g.Channels)
+	first := g.Map(0)
+	cols := g.RowBytes / accessBytes
+	for i := 1; i < cols; i++ {
+		l := g.Map(stride * uint64(i))
+		if l.Bank != first.Bank || l.Row != first.Row || l.Group != first.Group {
+			t.Fatalf("col walk %d left the bank: %+v vs %+v", i, l, first)
+		}
+		if l.Col != i {
+			t.Fatalf("col walk %d: Col=%d", i, l.Col)
+		}
+	}
+	// The next line after the row's columns should land in a new bank.
+	l := g.Map(stride * uint64(cols))
+	if l.Bank == first.Bank && l.Group == first.Group && l.Rank == first.Rank {
+		t.Fatalf("expected bank change after row sweep, got %+v", l)
+	}
+}
+
+func TestMapFieldsInRange(t *testing.T) {
+	g := Table2Geometry()
+	cap := uint64(g.Capacity())
+	f := func(seed uint64) bool {
+		l := g.Map(seed % cap)
+		return l.Channel >= 0 && l.Channel < g.Channels &&
+			l.Rank >= 0 && l.Rank < g.Ranks &&
+			l.Group >= 0 && l.Group < g.BankGroups &&
+			l.Bank >= 0 && l.Bank < g.Banks &&
+			l.Row >= 0 && l.Row < g.Rows &&
+			l.Col >= 0 && l.Col < g.RowBytes/accessBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapDistinctAddressesDistinctLocs(t *testing.T) {
+	g := Geometry{Channels: 2, Ranks: 2, BankGroups: 2, Banks: 2, Rows: 8, RowBytes: 256}
+	seen := map[Loc]uint64{}
+	for a := uint64(0); a < uint64(g.Capacity()); a += accessBytes {
+		l := g.Map(a)
+		if prev, dup := seen[l]; dup {
+			t.Fatalf("addresses %d and %d map to same loc %+v", prev, a, l)
+		}
+		seen[l] = a
+	}
+}

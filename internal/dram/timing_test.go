@@ -1,0 +1,57 @@
+package dram
+
+import "testing"
+
+func TestPresetsValidate(t *testing.T) {
+	for _, tim := range []Timing{DDR5_4800(), DDR4_3200()} {
+		if err := tim.Validate(); err != nil {
+			t.Errorf("%s: %v", tim.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadTimings(t *testing.T) {
+	cases := []func(*Timing){
+		func(tm *Timing) { tm.TCKps = 0 },
+		func(tm *Timing) { tm.BL = 0 },
+		func(tm *Timing) { tm.BL = 7 },
+		func(tm *Timing) { tm.CL = 0 },
+		func(tm *Timing) { tm.RC = tm.RAS - 1 },
+		func(tm *Timing) { tm.RFC = tm.REFI + 1 },
+	}
+	for i, mutate := range cases {
+		tm := DDR5_4800()
+		mutate(&tm)
+		if tm.Validate() == nil {
+			t.Errorf("case %d: invalid timing accepted", i)
+		}
+	}
+}
+
+func TestNSRoundsUp(t *testing.T) {
+	tm := Timing{TCKps: 625}
+	// 3 cycles * 625 ps = 1875 ps -> 2 ns (never round down).
+	if got := tm.ns(3); got != 2 {
+		t.Errorf("ns(3) = %d, want 2", got)
+	}
+	if got := tm.ns(8); got != 5 {
+		t.Errorf("ns(8) = %d, want 5", got)
+	}
+	if got := tm.ns(0); got != 0 {
+		t.Errorf("ns(0) = %d, want 0", got)
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	tm := DDR5_4800()
+	// 16 B per clock / 0.625 ns = 25.6 GB/s per channel.
+	if got := tm.PeakBandwidthGBs(); got < 25.5 || got > 25.7 {
+		t.Errorf("peak = %v GB/s, want ~25.6", got)
+	}
+	// Burst occupancy must agree with peak: 64 B / burstNS ≈ peak.
+	burst := tm.BurstNS()
+	implied := 64.0 / float64(burst)
+	if implied < 20 || implied > 26 {
+		t.Errorf("burst-implied bandwidth %v GB/s inconsistent with peak %v", implied, tm.PeakBandwidthGBs())
+	}
+}

@@ -1,0 +1,184 @@
+// Package engine assembles complete simulated systems — hosts, FlexBus
+// links, fabric switches, CXL memory devices, local DRAM, tiered page
+// management — and drives DLRM SLS traces through one of the paper's five
+// schemes: Pond, Pond+PM, BEACON(-S), RecNMP, and PIFS-Rec (§VI-B). Every
+// figure-reproducing benchmark is a thin sweep over engine.Run.
+package engine
+
+import (
+	"fmt"
+
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/osb"
+	"pifsrec/internal/sim"
+	"pifsrec/internal/trace"
+)
+
+// Scheme selects the system organization under test.
+type Scheme string
+
+// The evaluated schemes (§VI-B).
+const (
+	// Pond: CXL memory pooling with host-side SLS; every pooled row crosses
+	// the host FlexBus.
+	Pond Scheme = "Pond"
+	// PondPM: Pond plus this paper's page-management software (the
+	// "Pond + PM" baseline isolating the software contribution).
+	PondPM Scheme = "Pond+PM"
+	// BEACON: the BEACON-S variant — in-switch accumulation but CXL-only
+	// placement, custom-instruction translation overhead, no on-switch
+	// buffer, no page management, single switch.
+	BEACON Scheme = "BEACON"
+	// RecNMP: DIMM-side near-memory SLS on local DRAM with rank-level
+	// parallelism and a DIMM cache; CXL-resident rows fall back to the
+	// host-centric path.
+	RecNMP Scheme = "RecNMP"
+	// PIFSRec: the paper's full design.
+	PIFSRec Scheme = "PIFS-Rec"
+)
+
+// Schemes returns all five in the paper's legend order.
+func Schemes() []Scheme { return []Scheme{Pond, PondPM, BEACON, RecNMP, PIFSRec} }
+
+// Config describes one simulation run.
+type Config struct {
+	Scheme Scheme
+	Model  dlrm.ModelConfig
+	Trace  *trace.Trace
+
+	// Devices is the number of CXL Type 3 memory devices (default 4, the
+	// paper's default; Fig 12(c) sweeps 2..16).
+	Devices int
+	// Switches is the fabric-switch count (default 1; Fig 13(c) sweeps to
+	// 32). Only PIFS-Rec supports >1: the other schemes predate multi-
+	// switch forwarding.
+	Switches int
+	// Hosts is the number of concurrent hosts (default 1; Fig 14 sweeps).
+	Hosts int
+
+	// LocalFraction is the share of the embedding footprint that fits in
+	// local DRAM (stand-in for the paper's fixed 128 GB against multi-TB
+	// models). Default 0.125.
+	LocalFraction float64
+
+	// BufferBytes / BufferPolicy configure the on-switch buffer for schemes
+	// that have one (PIFS-Rec default 512 KB HTR, §VI-C).
+	BufferBytes  int
+	BufferPolicy osb.Policy
+
+	// ColdAgeThreshold and MigrateThreshold tune page management sweeps
+	// (Fig 13(a)/(d)); zero means paper defaults.
+	ColdAgeThreshold float64
+	MigrateThreshold float64
+	// CacheLineMigration selects §IV-B4's migration path (PIFS-Rec default
+	// true; page-block used for the Fig 13 cost comparison).
+	PageBlockMigration bool
+
+	// HostParallelism is the number of SLS bags each host keeps in flight
+	// (batch threading across cores). Default 8.
+	HostParallelism int
+	// EpochBags is the page-management epoch length in completed bags.
+	// Default 64.
+	EpochBags int
+
+	// Ablation overrides (Fig 12(e)): valid with Scheme == PIFSRec.
+	DisableOoO bool
+	DisablePM  bool
+	DisableOSB bool
+
+	// TPPPolicy switches page management to the TPP baseline (Fig 13(d)).
+	TPPPolicy bool
+
+	Seed uint64
+}
+
+// fillDefaults resolves zero values and scheme-implied settings.
+func (c *Config) fillDefaults() error {
+	if c.Trace == nil {
+		return fmt.Errorf("engine: config without a trace")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	switch c.Scheme {
+	case Pond, PondPM, BEACON, RecNMP, PIFSRec:
+	default:
+		return fmt.Errorf("engine: unknown scheme %q", c.Scheme)
+	}
+	if c.Devices == 0 {
+		c.Devices = 4
+	}
+	if c.Switches == 0 {
+		c.Switches = 1
+	}
+	if c.Switches > 1 && c.Scheme != PIFSRec {
+		return fmt.Errorf("engine: scheme %s does not support %d switches", c.Scheme, c.Switches)
+	}
+	if c.Switches > c.Devices {
+		return fmt.Errorf("engine: %d switches need at least as many devices, got %d", c.Switches, c.Devices)
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 1
+	}
+	if c.LocalFraction == 0 {
+		c.LocalFraction = 0.125
+	}
+	if c.LocalFraction < 0 || c.LocalFraction >= 1 {
+		return fmt.Errorf("engine: LocalFraction %v outside [0,1)", c.LocalFraction)
+	}
+	if c.HostParallelism == 0 {
+		// Deep enough that the run is bandwidth-bound, the regime the
+		// paper's batch-1024 workloads operate in, rather than latency-
+		// bound on individual CXL round trips.
+		c.HostParallelism = 48
+	}
+	if c.HostParallelism >= 64 {
+		return fmt.Errorf("engine: HostParallelism %d exceeds the 6-bit sumtag space", c.HostParallelism)
+	}
+	if c.EpochBags == 0 {
+		c.EpochBags = 64
+	}
+	if c.BufferPolicy == "" {
+		c.BufferPolicy = osb.HTR
+	}
+	if c.Scheme == PIFSRec && c.BufferBytes == 0 && !c.DisableOSB {
+		c.BufferBytes = 512 << 10 // paper default 512 KB
+	}
+	if c.Scheme != PIFSRec && c.Scheme != RecNMP {
+		c.BufferBytes = 0
+	}
+	if c.Trace.Tables != c.Model.Tables || c.Trace.RowsPerTable != c.Model.EmbRows {
+		return fmt.Errorf("engine: trace shape (%d tables × %d rows) does not match model (%d × %d)",
+			c.Trace.Tables, c.Trace.RowsPerTable, c.Model.Tables, c.Model.EmbRows)
+	}
+	return nil
+}
+
+// Result is what one run produced.
+type Result struct {
+	Scheme  Scheme
+	TotalNS sim.Tick
+	Bags    int
+	// NSPerBag is the mean SLS operator latency the figures compare.
+	NSPerBag float64
+
+	HostLinkDownBytes int64
+	HostLinkUpBytes   int64
+	LocalDRAMReads    int64
+	DeviceReads       []int64 // per CXL device
+	BufferHitRatio    float64
+	BufferHits        int64
+	MigrationStallNS  int64
+	PagesMigrated     int
+	CoreTagSwitches   int64
+	CoreInOrderStalls int64
+	LocalShare        float64 // fraction of row accesses served locally
+	DeviceAccessStd   float64
+	DeviceAccessMean  float64
+}
+
+// String summarizes a result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d bags in %.3f ms (%.0f ns/bag, local %.0f%%, buffer %.1f%%)",
+		r.Scheme, r.Bags, float64(r.TotalNS)/1e6, r.NSPerBag, r.LocalShare*100, r.BufferHitRatio*100)
+}

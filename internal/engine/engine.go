@@ -1,0 +1,435 @@
+package engine
+
+import (
+	"fmt"
+
+	"pifsrec/internal/cxl"
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/dram"
+	"pifsrec/internal/fabric"
+	"pifsrec/internal/osb"
+	"pifsrec/internal/pifs"
+	"pifsrec/internal/sim"
+	"pifsrec/internal/tier"
+	"pifsrec/internal/trace"
+)
+
+// Scheme-dependent latency constants.
+const (
+	// beaconXlatNS is the extra per-instruction translation latency of
+	// BEACON's custom DIMM instruction path inside the switch ("additional
+	// memory translation logic ... can introduce performance overheads",
+	// §II-B2).
+	beaconXlatNS = 25
+	// snoopNS is the host's D2H snoop-detection time once the accumulated
+	// result lands in the reserved address (§IV-A2).
+	snoopNS = 10
+	// dimmCacheHitNS is RecNMP's DIMM-cache hit service time.
+	dimmCacheHitNS = 5
+	// hostAccumPerRowNS is the amortized CPU cost of folding one row vector
+	// into an SLS partial sum across the socket's SIMD pipes. Host-side
+	// schemes pay it for every row; near-data schemes only for locally-
+	// served rows plus the final merge — the compute the Process Core
+	// absorbs.
+	hostAccumPerRowNS = 1
+)
+
+// system is one assembled simulation.
+type system struct {
+	cfg    Config
+	eng    *sim.Engine
+	layout dlrm.Layout
+	mgr    *tier.Manager
+
+	switches  []*fabric.Switch
+	devSwitch []int // global device -> switch index
+	devOnSw   []int // global device -> device index on its switch
+	devCap    []int64
+	swDevs    [][]int // switch -> its global device indices
+
+	hosts    []*host
+	vecBytes int
+	bagsDone int
+
+	// pageBlockedUntil[page] is the time a migrating page becomes
+	// accessible again; accesses landing earlier wait (§IV-B4: the OS marks
+	// a migrating page non-accessible; cache-line-block shrinks the window).
+	pageBlockedUntil []sim.Tick
+	migrationWaitNS  int64
+}
+
+// host models one CPU socket driving its shard of the trace.
+type host struct {
+	sys  *system
+	id   int
+	spid uint16
+	link *cxl.Duplex
+	sw   *fabric.Switch // the switch this host's FlexBus lands on
+	// localDRAM is this socket's own DIMM population; dimmCache is the
+	// RecNMP rank-level cache in front of it (nil otherwise).
+	localDRAM *dram.Controller
+	dimmCache *osb.Buffer
+
+	bags        []trace.Bag
+	next        int
+	outstanding int
+	completed   int
+	finish      sim.Tick
+	stallUntil  sim.Tick
+	pumpPending bool
+	// freeTags is the pool of 6-bit sumtags; a tag stays reserved while its
+	// bag is in flight so no two active clusters of this host collide.
+	freeTags []uint8
+	// accumFree serializes the host CPU's SLS accumulate datapath.
+	accumFree sim.Tick
+}
+
+// accumulate charges rows of host-side SLS folding, serialized on the
+// host's accumulate datapath, and reports the completion time.
+func (h *host) accumulate(rows int, at sim.Tick, done func(at sim.Tick)) {
+	if rows <= 0 {
+		done(at)
+		return
+	}
+	start := at
+	if h.accumFree > start {
+		start = h.accumFree
+	}
+	fin := start + sim.Tick(rows*hostAccumPerRowNS)
+	h.accumFree = fin
+	h.sys.eng.At(fin, func() { done(fin) })
+}
+
+// localGeometry is the host-attached DDR5 organization: the platform's
+// 12-channel sockets (§III) with capacity scaled down. Local DRAM is the
+// premium tier — its aggregate bandwidth exceeds the pooled devices', which
+// is why extra local capacity helps (Fig 12(d)) even though bandwidth, not
+// capacity, is the bottleneck. Page-granular channel interleave keeps each
+// row vector within one channel so its lines enjoy row-buffer hits.
+func localGeometry() dram.Geometry {
+	return dram.Geometry{Channels: 12, Ranks: 2, BankGroups: 4, Banks: 4,
+		Rows: 1 << 12, RowBytes: 8192, InterleaveBytes: 4096}
+}
+
+// nmpGeometry doubles the effective channel count for RecNMP's rank-level
+// parallelism: the DIMM-side accumulators harvest intra-DIMM bandwidth the
+// host bus cannot see (§VI-B).
+func nmpGeometry() dram.Geometry {
+	g := localGeometry()
+	g.Channels *= 2
+	return g
+}
+
+// deviceGeometry is one CXL Type 3 expander (Table II: 4 channels DDR4,
+// scaled rows).
+func deviceGeometry() dram.Geometry {
+	return dram.Geometry{Channels: 4, Ranks: 2, BankGroups: 4, Banks: 4,
+		Rows: 1 << 11, RowBytes: 8192, InterleaveBytes: 4096}
+}
+
+// build assembles the system.
+func build(cfg Config) (*system, error) {
+	s := &system{cfg: cfg, eng: sim.NewEngine()}
+	s.vecBytes = cfg.Model.RowBytes()
+	s.layout = dlrm.NewLayout(cfg.Model, 0)
+	footprint := s.layout.Footprint()
+
+	// Page management configuration per scheme.
+	tcfg := tier.Config{
+		CXLNodes:             cfg.Devices,
+		LocalBytes:           int64(cfg.LocalFraction * float64(footprint)),
+		ColdAgeThreshold:     cfg.ColdAgeThreshold,
+		MigrateThreshold:     cfg.MigrateThreshold,
+		CacheLineMigration:   !cfg.PageBlockMigration,
+		InterleaveLocalShare: cfg.LocalFraction,
+	}
+	switch {
+	case cfg.TPPPolicy:
+		tcfg.Policy = tier.PolicyTPP
+	case cfg.Scheme == PondPM || cfg.Scheme == RecNMP:
+		tcfg.Policy = tier.PolicyPIFS
+	case cfg.Scheme == PIFSRec && !cfg.DisablePM:
+		tcfg.Policy = tier.PolicyPIFS
+	default:
+		tcfg.Policy = tier.PolicyNone
+	}
+	if cfg.Scheme == BEACON {
+		tcfg.CXLOnly = true // BEACON's standalone use of CXL memory (§II-B2)
+		tcfg.LocalBytes = 0
+	}
+	mgr, err := tier.NewManager(tcfg, footprint)
+	if err != nil {
+		return nil, err
+	}
+	s.mgr = mgr
+
+	// Fabric switches and devices.
+	s.devSwitch = make([]int, cfg.Devices)
+	s.devOnSw = make([]int, cfg.Devices)
+	s.devCap = make([]int64, cfg.Devices)
+	for i := 0; i < cfg.Switches; i++ {
+		swCfg := fabric.Config{
+			ID:      i,
+			PortID:  uint16(0x100 + i),
+			HasCore: cfg.Scheme == BEACON || cfg.Scheme == PIFSRec,
+			Core:    pifs.DefaultConfig(),
+			Route:   s.routeFor(i),
+		}
+		if cfg.Scheme == BEACON {
+			// BEACON reaches throughput with parallel NDP units rather than
+			// the OoO engine; its limited unit count shows up as a small
+			// swap pool, and the custom DIMM-instruction path pays extra
+			// translation latency per fetch plus a serializing translation
+			// unit (§II-B2).
+			swCfg.Core.SwapRegisters = 8
+			swCfg.DecodeNS = beaconXlatNS
+			swCfg.XlatPerFetchNS = 2
+		}
+		if cfg.Scheme == PIFSRec {
+			swCfg.Core.OoO = !cfg.DisableOoO
+			if !cfg.DisableOSB && cfg.BufferBytes > 0 {
+				swCfg.BufferBytes = cfg.BufferBytes
+				swCfg.BufferPolicy = cfg.BufferPolicy
+			}
+		}
+		s.switches = append(s.switches, fabric.New(s.eng, swCfg))
+	}
+	// Fully connect the fabric (§IV-C1's scaled-out topology).
+	for i := range s.switches {
+		for j := i + 1; j < len(s.switches); j++ {
+			s.switches[i].Connect(s.switches[j])
+		}
+	}
+	s.swDevs = make([][]int, cfg.Switches)
+	for d := 0; d < cfg.Devices; d++ {
+		swIdx := d % cfg.Switches
+		dev := cxl.NewType3(s.eng, cxl.DeviceConfig{
+			ID:       d,
+			PortID:   uint16(0x200 + d),
+			Geometry: deviceGeometry(),
+			Timing:   dram.DDR4_3200(),
+		})
+		s.devSwitch[d] = swIdx
+		s.devOnSw[d] = s.switches[swIdx].AttachDevice(dev)
+		s.devCap[d] = dev.Capacity()
+		s.swDevs[swIdx] = append(s.swDevs[swIdx], d)
+	}
+
+	// Page moves invalidate cached row vectors on every buffered switch and
+	// block the page for the migration window.
+	s.pageBlockedUntil = make([]sim.Tick, s.mgr.Pages())
+	blockNS := sim.Tick(tier.CacheLineBlockStallNS)
+	if cfg.PageBlockMigration {
+		blockNS = tier.PageBlockStallNS
+	}
+	s.mgr.SetMoveHook(func(page int, from, to tier.Node) {
+		until := s.eng.Now() + blockNS
+		if until > s.pageBlockedUntil[page] {
+			s.pageBlockedUntil[page] = until
+		}
+		start := uint64(page) * tier.PageBytes
+		end := start + tier.PageBytes
+		if int64(end) > footprint {
+			end = uint64(footprint)
+		}
+		for a := start; a < end; a += uint64(s.vecBytes) {
+			for _, sw := range s.switches {
+				sw.InvalidateBuffer(a)
+			}
+			for _, h := range s.hosts {
+				if h.dimmCache != nil {
+					h.dimmCache.Invalidate(a)
+				}
+			}
+		}
+	})
+
+	// Hosts with their FlexBus ports and their own DIMM populations,
+	// sharded round-robin over the trace. RecNMP sockets carry the
+	// rank-parallel NMP organization plus the rank-level cache (8 ranks x
+	// 512 KB aggregate); HTR is "akin to RecNMP" (§IV-A4).
+	geo := localGeometry()
+	if cfg.Scheme == RecNMP {
+		geo = nmpGeometry()
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		hh := &host{
+			sys:       s,
+			id:        h,
+			spid:      uint16(1 + h),
+			link:      cxl.NewDuplex(s.eng, fmt.Sprintf("host%d", h), cxl.PCIe5x16GBs, cxl.PortOverheadNS),
+			sw:        s.switches[h%len(s.switches)],
+			localDRAM: dram.NewController(s.eng, geo, dram.DDR5_4800()),
+		}
+		if cfg.Scheme == RecNMP {
+			hh.dimmCache = osb.New(4<<20, osb.HTR)
+		}
+		for tag := 63; tag >= 0; tag-- {
+			hh.freeTags = append(hh.freeTags, uint8(tag))
+		}
+		for i := h; i < len(cfg.Trace.Bags); i += cfg.Hosts {
+			hh.bags = append(hh.bags, cfg.Trace.Bags[i])
+		}
+		s.hosts = append(s.hosts, hh)
+	}
+	return s, nil
+}
+
+// routeFor builds the FM-endpoint memory-indexing function of switch i: it
+// resolves a global address to a device attached to that switch. If a page
+// migrated while a fetch was in flight (the request was addressed before
+// the lookup table was updated), the route falls back to a deterministic
+// stripe across this switch's devices — the data is wherever the stale
+// table entry pointed, which this models without double-counting traffic.
+func (s *system) routeFor(swIdx int) fabric.Route {
+	return func(addr uint64) (int, uint64) {
+		d := -1
+		if node := s.mgr.NodeOf(addr); node.IsCXL() {
+			if g := node.CXLIndex(); s.devSwitch[g] == swIdx {
+				d = g
+			}
+		}
+		if d < 0 {
+			devs := s.swDevs[swIdx]
+			d = devs[int(addr/tier.PageBytes)%len(devs)]
+		}
+		return s.devOnSw[d], nodeLocalAddr(addr, s.devCap[d])
+	}
+}
+
+// nodeLocalAddr compacts a global address into a node's local address space
+// by hashing the page number. Placement strides pages across nodes (every
+// Nth 4 KB page), which would otherwise alias with the page-granular channel
+// interleave and pile every access of a node onto one DRAM channel. The
+// mixer must avalanche into the low bits (a plain multiplicative hash is an
+// identity mod small powers of two), so it uses a SplitMix64-style finalizer.
+func nodeLocalAddr(addr uint64, capacity int64) uint64 {
+	page := addr / tier.PageBytes
+	off := addr % tier.PageBytes
+	pages := uint64(capacity) / tier.PageBytes
+	h := page
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return (h%pages)*tier.PageBytes + off
+}
+
+// Run simulates the configured system end to end.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Result{}, err
+	}
+	s, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.eng.SetEventLimit(500_000_000)
+
+	for _, h := range s.hosts {
+		h.pump()
+	}
+	s.eng.Run()
+
+	return s.collect(), nil
+}
+
+// pump keeps HostParallelism bags in flight, respecting migration stalls.
+func (h *host) pump() {
+	if h.pumpPending {
+		return
+	}
+	now := h.sys.eng.Now()
+	if h.stallUntil > now {
+		h.pumpPending = true
+		h.sys.eng.At(h.stallUntil, func() {
+			h.pumpPending = false
+			h.pump()
+		})
+		return
+	}
+	for h.outstanding < h.sys.cfg.HostParallelism && h.next < len(h.bags) {
+		bag := h.bags[h.next]
+		n := len(h.freeTags)
+		tag := h.freeTags[n-1]
+		h.freeTags = h.freeTags[:n-1]
+		h.next++
+		h.outstanding++
+		h.sys.runBag(h, bag, tag, func(at sim.Tick) {
+			h.outstanding--
+			h.completed++
+			h.freeTags = append(h.freeTags, tag)
+			if at > h.finish {
+				h.finish = at
+			}
+			h.sys.bagCompleted()
+			h.pump()
+		})
+	}
+}
+
+// bagCompleted advances the page-management epoch clock. Migration costs
+// surface through the per-page blocked windows set by the move hook, not a
+// global freeze: only accesses that actually touch a migrating page wait.
+func (s *system) bagCompleted() {
+	s.bagsDone++
+	if s.bagsDone%s.cfg.EpochBags == 0 {
+		s.mgr.Epoch()
+	}
+}
+
+// collect gathers the result after the event queue drains.
+func (s *system) collect() Result {
+	r := Result{Scheme: s.cfg.Scheme, Bags: s.bagsDone}
+	for _, h := range s.hosts {
+		if h.finish > r.TotalNS {
+			r.TotalNS = h.finish
+		}
+		r.HostLinkDownBytes += h.link.Down.Stats().BytesMoved
+		r.HostLinkUpBytes += h.link.Up.Stats().BytesMoved
+		r.LocalDRAMReads += h.localDRAM.Stats().Reads
+	}
+	if r.Bags > 0 {
+		r.NSPerBag = float64(r.TotalNS) / float64(r.Bags)
+	}
+	r.DeviceReads = make([]int64, s.cfg.Devices)
+	for d := 0; d < s.cfg.Devices; d++ {
+		r.DeviceReads[d] = s.switches[s.devSwitch[d]].Device(s.devOnSw[d]).Stats().Reads
+	}
+	var hits, misses int64
+	var tagSwitches, inOrder int64
+	for _, sw := range s.switches {
+		st := sw.Stats()
+		hits += st.BufferHits
+		misses += st.BufferMisses
+		if sw.HasCore() {
+			cs := sw.Core.Stats()
+			tagSwitches += cs.TagSwitches
+			inOrder += cs.InOrderStalls
+		}
+	}
+	for _, h := range s.hosts {
+		if h.dimmCache != nil {
+			ds := h.dimmCache.Stats()
+			hits += ds.Hits
+			misses += ds.Misses
+		}
+	}
+	if hits+misses > 0 {
+		r.BufferHitRatio = float64(hits) / float64(hits+misses)
+	}
+	r.BufferHits = hits
+	r.CoreTagSwitches = tagSwitches
+	r.CoreInOrderStalls = inOrder
+	// migrationWaitNS sums per-bag waits, which overlap across the
+	// (Hosts x HostParallelism) concurrent bags; dividing by the
+	// concurrency yields the wall-clock-equivalent stall that "migration
+	// cost with respect to the total latency" (Fig 13) refers to.
+	concurrency := int64(s.cfg.Hosts * s.cfg.HostParallelism)
+	r.MigrationStallNS = s.migrationWaitNS / concurrency
+	r.PagesMigrated = s.mgr.Stats().PagesMigrated
+	r.LocalShare = s.mgr.LocalShareOfAccesses()
+	r.DeviceAccessMean, r.DeviceAccessStd = s.mgr.DeviceAccessStdDev()
+	return r
+}

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"fmt"
+
+	"pifsrec/internal/dram"
+	"pifsrec/internal/fabric"
+	"pifsrec/internal/isa"
+	"pifsrec/internal/pifs"
+	"pifsrec/internal/sim"
+	"pifsrec/internal/tier"
+	"pifsrec/internal/trace"
+)
+
+// join fans multiple asynchronous parts into one completion carrying the
+// latest completion time. All parts must be registered before any can
+// complete — true here because registration happens synchronously within
+// one event.
+type join struct {
+	remaining int
+	last      sim.Tick
+	fn        func(at sim.Tick)
+}
+
+func newJoin(parts int, fn func(at sim.Tick)) *join {
+	if parts <= 0 {
+		panic("engine: join with no parts")
+	}
+	return &join{remaining: parts, fn: fn}
+}
+
+func (j *join) done(at sim.Tick) {
+	if at > j.last {
+		j.last = at
+	}
+	j.remaining--
+	if j.remaining == 0 {
+		j.fn(j.last)
+	}
+}
+
+// runBag executes one SLS bag under the configured scheme and calls done
+// with the completion time. Rows touching a page that is mid-migration wait
+// for the page's blocked window to close before the bag starts (§IV-B4).
+func (s *system) runBag(h *host, bag trace.Bag, tag uint8, done func(at sim.Tick)) {
+	if len(bag.Indices) == 0 {
+		panic("engine: empty bag")
+	}
+	var local []uint64
+	var cacheHits int
+	remoteBySwitch := make(map[int][]uint64)
+	remoteTotal := 0
+	now := s.eng.Now()
+	start := now
+	for _, ix := range bag.Indices {
+		addr := s.layout.RowAddr(bag.Table, ix)
+		s.mgr.Record(addr)
+		if b := s.pageBlockedUntil[s.mgr.PageOf(addr)]; b > start {
+			start = b
+		}
+		// RecNMP's rank-level DIMM cache captures hot vectors at row
+		// granularity regardless of which tier their page sits on — the
+		// row-vs-page granularity advantage of §IV-B1.
+		if h.dimmCache != nil && h.dimmCache.Access(addr, s.vecBytes) {
+			cacheHits++
+			continue
+		}
+		node := s.mgr.NodeOf(addr)
+		if node == tier.NodeLocal {
+			local = append(local, addr)
+		} else {
+			swIdx := s.devSwitch[node.CXLIndex()]
+			remoteBySwitch[swIdx] = append(remoteBySwitch[swIdx], addr)
+			remoteTotal++
+		}
+	}
+	if start > now {
+		s.migrationWaitNS += int64(start - now)
+		s.eng.At(start, func() {
+			s.execBag(h, tag, cacheHits, local, remoteBySwitch, remoteTotal, done)
+		})
+		return
+	}
+	s.execBag(h, tag, cacheHits, local, remoteBySwitch, remoteTotal, done)
+}
+
+func (s *system) execBag(h *host, tag uint8, cacheHits int, local []uint64,
+	remoteBySwitch map[int][]uint64, remoteTotal int, done func(at sim.Tick)) {
+	parts := 0
+	if cacheHits > 0 {
+		parts++
+	}
+	if len(local) > 0 {
+		parts++
+	}
+	if remoteTotal > 0 {
+		parts++
+	}
+	if parts == 0 {
+		panic("engine: bag with no rows to execute")
+	}
+	j := newJoin(parts, done)
+
+	if cacheHits > 0 {
+		// Cache-served rows accumulate inside the DIMM-side NMP units — no
+		// host CPU involvement.
+		s.eng.After(dimmCacheHitNS, func() { j.done(s.eng.Now()) })
+	}
+	if len(local) > 0 {
+		// Locally-resident rows are fetched from host DRAM and folded by
+		// the host CPU (for every scheme but RecNMP, whose NMP units fold
+		// in-DIMM at no CPU cost).
+		nLocal := len(local)
+		s.localSLS(h, local, func(at sim.Tick) {
+			if s.cfg.Scheme == RecNMP {
+				j.done(at)
+				return
+			}
+			h.accumulate(nLocal, at, j.done)
+		})
+	}
+	if remoteTotal == 0 {
+		return
+	}
+	switch s.cfg.Scheme {
+	case Pond, PondPM, RecNMP:
+		// Host-side schemes also fold every remote row on the CPU.
+		s.hostSideRemote(h, remoteBySwitch, remoteTotal, func(at sim.Tick) {
+			h.accumulate(remoteTotal, at, j.done)
+		})
+	case BEACON, PIFSRec:
+		// The switch returns one pre-accumulated vector; the host merges it
+		// into the bag result at the cost of a single row fold.
+		s.inSwitchRemote(h, tag, remoteBySwitch, func(at sim.Tick) {
+			h.accumulate(1, at, j.done)
+		})
+	default:
+		panic(fmt.Sprintf("engine: runBag for scheme %q", s.cfg.Scheme))
+	}
+}
+
+// localSLS reads row vectors from the host's own DIMMs; the host folds them
+// into the partial sum at core speed (negligible next to DRAM service).
+// Under RecNMP the controller is the widened rank-parallel NMP organization.
+func (s *system) localSLS(h *host, addrs []uint64, done func(at sim.Tick)) {
+	j := newJoin(len(addrs), done)
+	localCap := h.localDRAM.Geometry().Capacity()
+	for _, addr := range addrs {
+		lines := s.vecBytes / 64
+		rj := newJoin(lines, j.done)
+		base := nodeLocalAddr(addr, localCap)
+		for l := 0; l < lines; l++ {
+			h.localDRAM.Submit(&dram.Request{
+				Addr: base + uint64(l*64),
+				Done: func(at sim.Tick) { rj.done(at) },
+			})
+		}
+	}
+}
+
+// hostSideRemote is the Pond-family CXL path: each remote row costs one
+// request slot down the host FlexBus, a bypass fetch through the switch,
+// and the full row vector back up the FlexBus, where the host accumulates.
+// The up-link occupancy per row is what the in-switch schemes eliminate.
+func (s *system) hostSideRemote(h *host, bySwitch map[int][]uint64, total int, done func(at sim.Tick)) {
+	j := newJoin(total, done)
+	for swIdx, addrs := range bySwitch {
+		sw := s.switches[swIdx]
+		for _, addr := range addrs {
+			addr := addr
+			h.link.Down.Send(isa.SlotBytes, func(sim.Tick) {
+				sw.BypassRead(addr, s.vecBytes, func(sim.Tick) {
+					h.link.Up.Send(s.vecBytes, func(at sim.Tick) {
+						j.done(at)
+					})
+				})
+			})
+		}
+	}
+}
+
+// inSwitchRemote is the PIFS/BEACON path: one Configuration slot programs
+// the accumulation cluster (SumCandidateCount = rows not in local DRAM,
+// §IV-A2), DataFetch slots follow, devices feed the Process Core, and a
+// single accumulated vector returns over CXL.cache D2H, detected by the
+// host's snoop loop. Rows on devices behind peer switches travel via
+// multi-layer instruction forwarding with Sub-SumCandidateCounts (§IV-C1).
+func (s *system) inSwitchRemote(h *host, tag uint8, bySwitch map[int][]uint64, done func(at sim.Tick)) {
+	primary := h.sw
+	primaryIdx := primary.ID()
+	key := pifs.ClusterKey{SPID: h.spid, SumTag: tag}
+
+	localFetches := bySwitch[primaryIdx]
+	candidates := len(localFetches)
+	type peerBatch struct {
+		sw    *fabric.Switch
+		addrs []uint64
+		sub   pifs.ClusterKey
+	}
+	var peers []peerBatch
+	for swIdx, addrs := range bySwitch {
+		if swIdx == primaryIdx {
+			continue
+		}
+		peers = append(peers, peerBatch{
+			sw:    s.switches[swIdx],
+			addrs: addrs,
+			// Sub-cluster identity: high bit set, host and peer switch
+			// packed into the 12-bit port-id space.
+			sub: pifs.ClusterKey{SPID: 0x800 | h.spid<<5 | uint16(swIdx), SumTag: tag},
+		})
+		candidates++ // each peer contributes one pre-accumulated partial
+	}
+
+	onResult := func(sim.Tick) {
+		// The egress queue dispatches the accumulated vector to the host's
+		// reserved address; the snooping daemon notices shortly after.
+		h.link.Up.Send(s.vecBytes, func(at sim.Tick) {
+			s.eng.After(snoopNS, func() { done(at + snoopNS) })
+		})
+	}
+
+	// The PIFS kernel emits the Configuration slot and the DataFetch slots
+	// as one contiguous instruction stream (§IV-D), so they cross the
+	// FlexBus as a single batched transfer; FIFO ordering guarantees the
+	// ACR entry exists before any fetch can produce data.
+	streamBytes := isa.SlotBytes * (1 + len(localFetches))
+	h.link.Down.Send(streamBytes, func(sim.Tick) {
+		primary.PIFSConfigure(key, candidates, s.vecBytes, 0, onResult)
+		for _, addr := range localFetches {
+			primary.PIFSFetch(key, addr, s.vecBytes)
+		}
+		for _, pb := range peers {
+			pb := pb
+			h.link.Down.Send(len(pb.addrs)*isa.SlotBytes, func(sim.Tick) {
+				primary.ForwardFetch(pb.sw, pb.sub, pb.addrs, s.vecBytes, func(sim.Tick) {
+					primary.Core.Data(key)
+				})
+			})
+		}
+	})
+}

@@ -1,0 +1,319 @@
+// Package isa models the CXL.mem request flits that PIFS-Rec extends
+// (paper Fig 9). Instructions are encoded bit-exactly into one 16-byte CXL
+// slot; the enhanced fields — SumTag, VectorSize, SumCandidateCount, and the
+// DataFetch/Configuration memory opcodes — live in the otherwise reserved
+// bits, and the fabric switch rewrites SPID/MemOpcode during instruction
+// repacking (§IV-A2) before forwarding a standard read to the Type 3 device.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MemOpcode is the 4-bit memory operation field of an M2S request.
+type MemOpcode uint8
+
+// Standard CXL.mem opcodes occupy the low encodings; PIFS-Rec claims the
+// two reserved encodings 1110b and 1111b (Fig 9).
+const (
+	OpMemRd     MemOpcode = 0x0 // standard read
+	OpMemWr     MemOpcode = 0x1 // standard write
+	OpMemInv    MemOpcode = 0x2 // invalidate
+	OpMemSpecRd MemOpcode = 0x3 // speculative read
+	OpDataFetch MemOpcode = 0xE // PIFS: fetch a row vector for accumulation
+	OpConfig    MemOpcode = 0xF // PIFS: configure the Accumulate Config Register
+)
+
+// IsPIFS reports whether the opcode requires Process Core handling; the
+// MemOpcode checker in the switch routes every other opcode down the bypass
+// path (§IV-A2).
+func (op MemOpcode) IsPIFS() bool { return op == OpDataFetch || op == OpConfig }
+
+// String names the opcode.
+func (op MemOpcode) String() string {
+	switch op {
+	case OpMemRd:
+		return "MemRd"
+	case OpMemWr:
+		return "MemWr"
+	case OpMemInv:
+		return "MemInv"
+	case OpMemSpecRd:
+		return "MemSpecRd"
+	case OpDataFetch:
+		return "DataFetch"
+	case OpConfig:
+		return "Configuration"
+	default:
+		return fmt.Sprintf("MemOpcode(%#x)", uint8(op))
+	}
+}
+
+// VectorSize is the 3-bit binary-coded row-vector size (Fig 9): eight
+// configurations from 16 B up, "minimum data granularity managed is 16B"
+// (§IV-A3).
+type VectorSize uint8
+
+// Bytes returns the row-vector size in bytes: 16 << code.
+func (v VectorSize) Bytes() int { return 16 << v }
+
+// VectorSizeFor returns the code for a byte size, or an error when the size
+// is not one of the eight encodable configurations.
+func VectorSizeFor(bytes int) (VectorSize, error) {
+	for c := 0; c < 8; c++ {
+		if 16<<c == bytes {
+			return VectorSize(c), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: %d B is not an encodable vector size (16B..2KB powers of two)", bytes)
+}
+
+// Field widths and limits from Fig 9.
+const (
+	TagBits     = 16
+	AddrBits    = 47 // line (64 B) address
+	PortIDBits  = 12 // SPID / DPID
+	SumTagBits  = 6
+	SumCandBits = 16
+	MetaBits    = 7 // ST, MF, MV
+
+	MaxTag     = 1<<TagBits - 1
+	MaxAddr    = 1<<AddrBits - 1
+	MaxPortID  = 1<<PortIDBits - 1
+	MaxSumTag  = 1<<SumTagBits - 1
+	MaxSumCand = 1<<SumCandBits - 1
+	MaxMeta    = 1<<MetaBits - 1
+)
+
+// SlotBytes is the CXL slot size: "the CXL standard's slot size limitation
+// of 16 bytes" (§IV-A3).
+const SlotBytes = 16
+
+// Slot is one encoded 128-bit instruction.
+type Slot [SlotBytes]byte
+
+// Instruction is a decoded M2S request flit with the PIFS extensions.
+type Instruction struct {
+	Valid    bool
+	Opcode   MemOpcode
+	Meta     uint8  // ST/MF/MV bundle, 7 bits
+	Tag      uint16 // transaction tag
+	LineAddr uint64 // 64 B-aligned address >> 6, 47 bits
+	SPID     uint16 // source port ID (rewritten by repacking)
+	DPID     uint16 // destination port ID (switch-issued M2S only)
+	SumTag   uint8  // accumulation cluster, 6 bits
+	VecSize  VectorSize
+	// SumCand is the SumCandidateCount for Configuration instructions: the
+	// number of row vectors the accumulation needs before completing.
+	SumCand uint16
+	// Weight rides in the data slot ("weight ... allocated within the data
+	// slot field", §IV-A3); FP32 per-row scaling for weighted SLS.
+	Weight float32
+}
+
+// Addr returns the byte address.
+func (in Instruction) Addr() uint64 { return in.LineAddr << 6 }
+
+// Validate reports field-range violations before encoding.
+func (in Instruction) Validate() error {
+	switch {
+	case in.Opcode > 0xF:
+		return fmt.Errorf("isa: opcode %#x exceeds 4 bits", uint8(in.Opcode))
+	case in.Meta > MaxMeta:
+		return fmt.Errorf("isa: meta %#x exceeds %d bits", in.Meta, MetaBits)
+	case in.LineAddr > MaxAddr:
+		return fmt.Errorf("isa: line address %#x exceeds %d bits", in.LineAddr, AddrBits)
+	case in.SPID > MaxPortID:
+		return fmt.Errorf("isa: SPID %d exceeds %d bits", in.SPID, PortIDBits)
+	case in.DPID > MaxPortID:
+		return fmt.Errorf("isa: DPID %d exceeds %d bits", in.DPID, PortIDBits)
+	case in.SumTag > MaxSumTag:
+		return fmt.Errorf("isa: sumtag %d exceeds %d bits", in.SumTag, SumTagBits)
+	case in.VecSize > 7:
+		return fmt.Errorf("isa: vector size code %d exceeds 3 bits", in.VecSize)
+	}
+	return nil
+}
+
+// Bit layout within the 128-bit slot (low bit first):
+//
+//	[0]      V
+//	[1:5]    MemOpcode
+//	[5:12]   Meta (ST/MF/MV)
+//	[12:28]  Tag
+//	[28:75]  LineAddr
+//	[75:87]  SPID
+//	[87:99]  DPID
+//	[99:105] SumTag
+//	[105:108] VectorSize
+//	[108:124] SumCandidateCount
+//	[124:128] reserved
+//
+// The FP32 weight is carried in the adjacent data slot; Encode packs it into
+// a companion representation via EncodeWeight for transport modelling.
+func (in Instruction) Encode() (Slot, error) {
+	if err := in.Validate(); err != nil {
+		return Slot{}, err
+	}
+	var lo, hi uint64
+	put := func(val uint64, off, width int) {
+		if off+width <= 64 {
+			lo |= val << off
+			return
+		}
+		if off >= 64 {
+			hi |= val << (off - 64)
+			return
+		}
+		lowWidth := 64 - off
+		lo |= (val & (1<<lowWidth - 1)) << off
+		hi |= val >> lowWidth
+	}
+	if in.Valid {
+		put(1, 0, 1)
+	}
+	put(uint64(in.Opcode), 1, 4)
+	put(uint64(in.Meta), 5, 7)
+	put(uint64(in.Tag), 12, 16)
+	put(in.LineAddr, 28, 47)
+	put(uint64(in.SPID), 75, 12)
+	put(uint64(in.DPID), 87, 12)
+	put(uint64(in.SumTag), 99, 6)
+	put(uint64(in.VecSize), 105, 3)
+	put(uint64(in.SumCand), 108, 16)
+
+	var s Slot
+	binary.LittleEndian.PutUint64(s[0:8], lo)
+	binary.LittleEndian.PutUint64(s[8:16], hi)
+	return s, nil
+}
+
+// Decode unpacks a slot. Decoding a slot whose V bit is clear returns an
+// error: the switch must never act on an invalid flit.
+func Decode(s Slot) (Instruction, error) {
+	lo := binary.LittleEndian.Uint64(s[0:8])
+	hi := binary.LittleEndian.Uint64(s[8:16])
+	get := func(off, width int) uint64 {
+		mask := uint64(1)<<width - 1
+		if off+width <= 64 {
+			return (lo >> off) & mask
+		}
+		if off >= 64 {
+			return (hi >> (off - 64)) & mask
+		}
+		lowWidth := 64 - off
+		v := lo >> off
+		v |= hi << lowWidth
+		return v & mask
+	}
+	in := Instruction{
+		Valid:    get(0, 1) == 1,
+		Opcode:   MemOpcode(get(1, 4)),
+		Meta:     uint8(get(5, 7)),
+		Tag:      uint16(get(12, 16)),
+		LineAddr: get(28, 47),
+		SPID:     uint16(get(75, 12)),
+		DPID:     uint16(get(87, 12)),
+		SumTag:   uint8(get(99, 6)),
+		VecSize:  VectorSize(get(105, 3)),
+		SumCand:  uint16(get(108, 16)),
+	}
+	if !in.Valid {
+		return in, fmt.Errorf("isa: V bit clear")
+	}
+	return in, nil
+}
+
+// EncodeWeight serializes the FP32 weight for the data slot.
+func EncodeWeight(w float32) [4]byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(w))
+	return b
+}
+
+// DecodeWeight deserializes an FP32 weight from the data slot.
+func DecodeWeight(b [4]byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
+}
+
+// NewDataFetch builds a host-issued DataFetch request: fetch the row vector
+// at addr (byte address, 64 B aligned) and fold it into accumulation cluster
+// sumTag. vecBytes selects the row-vector size.
+func NewDataFetch(tag uint16, addr uint64, spid uint16, sumTag uint8, vecBytes int, weight float32) (Instruction, error) {
+	vs, err := VectorSizeFor(vecBytes)
+	if err != nil {
+		return Instruction{}, err
+	}
+	if addr%64 != 0 {
+		return Instruction{}, fmt.Errorf("isa: address %#x not 64 B aligned", addr)
+	}
+	in := Instruction{
+		Valid:    true,
+		Opcode:   OpDataFetch,
+		Tag:      tag,
+		LineAddr: addr >> 6,
+		SPID:     spid,
+		SumTag:   sumTag,
+		VecSize:  vs,
+		Weight:   weight,
+	}
+	return in, in.Validate()
+}
+
+// NewConfig builds a host-issued Configuration request: program the ACR
+// entry for sumTag with the number of row candidates (sumCand) and the
+// reserved result address ("the address field is re-purposed to specify the
+// location reserved for the accumulated result", §IV-A3).
+func NewConfig(tag uint16, resultAddr uint64, spid uint16, sumTag uint8, sumCand uint16, vecBytes int) (Instruction, error) {
+	vs, err := VectorSizeFor(vecBytes)
+	if err != nil {
+		return Instruction{}, err
+	}
+	if resultAddr%64 != 0 {
+		return Instruction{}, fmt.Errorf("isa: result address %#x not 64 B aligned", resultAddr)
+	}
+	in := Instruction{
+		Valid:    true,
+		Opcode:   OpConfig,
+		Tag:      tag,
+		LineAddr: resultAddr >> 6,
+		SPID:     spid,
+		SumTag:   sumTag,
+		SumCand:  sumCand,
+		VecSize:  vs,
+	}
+	return in, in.Validate()
+}
+
+// Repack performs the switch's instruction repacking (§IV-A2): the
+// DataFetch opcode becomes a standard read directed at the device, and the
+// SPID is rewritten from the host to the fabric switch "ensuring that the
+// retrieved data are stored in the fabric switch". The original instruction
+// is not modified.
+func Repack(in Instruction, switchPID, devicePID uint16) (Instruction, error) {
+	if in.Opcode != OpDataFetch {
+		return Instruction{}, fmt.Errorf("isa: repack of non-DataFetch opcode %v", in.Opcode)
+	}
+	out := in
+	out.Opcode = OpMemRd
+	out.SPID = switchPID
+	out.DPID = devicePID
+	return out, out.Validate()
+}
+
+// String renders the instruction for debugging.
+func (in Instruction) String() string {
+	switch in.Opcode {
+	case OpConfig:
+		return fmt.Sprintf("%v{tag=%d sumtag=%d cand=%d result=%#x}",
+			in.Opcode, in.Tag, in.SumTag, in.SumCand, in.Addr())
+	case OpDataFetch:
+		return fmt.Sprintf("%v{tag=%d sumtag=%d addr=%#x vec=%dB w=%g}",
+			in.Opcode, in.Tag, in.SumTag, in.Addr(), in.VecSize.Bytes(), in.Weight)
+	default:
+		return fmt.Sprintf("%v{tag=%d addr=%#x spid=%d dpid=%d}",
+			in.Opcode, in.Tag, in.Addr(), in.SPID, in.DPID)
+	}
+}

@@ -1,0 +1,199 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Instruction{
+		Valid:    true,
+		Opcode:   OpDataFetch,
+		Meta:     0x5a,
+		Tag:      0xBEEF,
+		LineAddr: 0x3FFF_FFFF_FFFF, // near the 47-bit limit
+		SPID:     0xABC,
+		DPID:     0x123,
+		SumTag:   0x2A,
+		VecSize:  5,
+		SumCand:  0xFACE,
+	}
+	s, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Weight = 0 // weight travels in the data slot, not the instruction slot
+	if out != in {
+		t.Fatalf("roundtrip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op, meta, sumtag, vs uint8, tag, spid, dpid, cand uint16, line uint64) bool {
+		in := Instruction{
+			Valid:    true,
+			Opcode:   MemOpcode(op & 0xF),
+			Meta:     meta & MaxMeta,
+			Tag:      tag,
+			LineAddr: line & MaxAddr,
+			SPID:     spid & MaxPortID,
+			DPID:     dpid & MaxPortID,
+			SumTag:   sumtag & MaxSumTag,
+			VecSize:  VectorSize(vs & 7),
+			SumCand:  cand,
+		}
+		s, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(s)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeInvalidSlot(t *testing.T) {
+	var s Slot // V bit clear
+	if _, err := Decode(s); err == nil {
+		t.Fatal("decoding an invalid slot succeeded")
+	}
+}
+
+func TestValidateRejectsOverflow(t *testing.T) {
+	cases := []Instruction{
+		{Valid: true, Meta: MaxMeta + 1},
+		{Valid: true, LineAddr: MaxAddr + 1},
+		{Valid: true, SPID: MaxPortID + 1},
+		{Valid: true, DPID: MaxPortID + 1},
+		{Valid: true, SumTag: MaxSumTag + 1},
+		{Valid: true, VecSize: 8},
+	}
+	for i, in := range cases {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("case %d: overflowing instruction encoded", i)
+		}
+	}
+}
+
+func TestVectorSizeCodes(t *testing.T) {
+	wants := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	for code, want := range wants {
+		if got := VectorSize(code).Bytes(); got != want {
+			t.Errorf("code %d -> %d B, want %d", code, got, want)
+		}
+		back, err := VectorSizeFor(want)
+		if err != nil || int(back) != code {
+			t.Errorf("VectorSizeFor(%d) = %v, %v; want code %d", want, back, err, code)
+		}
+	}
+	if _, err := VectorSizeFor(48); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+	if _, err := VectorSizeFor(4096); err == nil {
+		t.Error("oversized vector accepted")
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !OpDataFetch.IsPIFS() || !OpConfig.IsPIFS() {
+		t.Error("PIFS opcodes not recognized")
+	}
+	for _, op := range []MemOpcode{OpMemRd, OpMemWr, OpMemInv, OpMemSpecRd} {
+		if op.IsPIFS() {
+			t.Errorf("%v wrongly classified as PIFS", op)
+		}
+	}
+}
+
+func TestNewDataFetch(t *testing.T) {
+	in, err := NewDataFetch(7, 0x1000, 3, 12, 64, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Opcode != OpDataFetch || in.Addr() != 0x1000 || in.VecSize.Bytes() != 64 {
+		t.Fatalf("bad instruction: %+v", in)
+	}
+	if in.Weight != 1.5 {
+		t.Fatalf("weight = %v", in.Weight)
+	}
+	if _, err := NewDataFetch(7, 0x1001, 3, 12, 64, 1); err == nil {
+		t.Error("unaligned address accepted")
+	}
+	if _, err := NewDataFetch(7, 0x1000, 3, 12, 48, 1); err == nil {
+		t.Error("bad vector size accepted")
+	}
+}
+
+func TestNewConfig(t *testing.T) {
+	in, err := NewConfig(9, 0x2000, 1, 5, 30, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Opcode != OpConfig || in.SumCand != 30 || in.Addr() != 0x2000 {
+		t.Fatalf("bad config instruction: %+v", in)
+	}
+	if _, err := NewConfig(9, 0x2001, 1, 5, 30, 128); err == nil {
+		t.Error("unaligned result address accepted")
+	}
+}
+
+func TestRepack(t *testing.T) {
+	in, err := NewDataFetch(7, 0x1000, 3, 12, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Repack(in, 0x100, 0x200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Opcode != OpMemRd {
+		t.Errorf("repacked opcode = %v, want MemRd", out.Opcode)
+	}
+	if out.SPID != 0x100 || out.DPID != 0x200 {
+		t.Errorf("repacked ports = %d/%d", out.SPID, out.DPID)
+	}
+	// Accumulation context must survive repacking so the switch can match
+	// returning data to its cluster.
+	if out.SumTag != in.SumTag || out.VecSize != in.VecSize || out.Tag != in.Tag {
+		t.Error("repacking lost accumulation context")
+	}
+	// Original unchanged.
+	if in.Opcode != OpDataFetch || in.SPID != 3 {
+		t.Error("repack mutated its input")
+	}
+	if _, err := Repack(out, 1, 2); err == nil {
+		t.Error("repacking a standard read succeeded")
+	}
+}
+
+func TestWeightRoundTrip(t *testing.T) {
+	f := func(w float32) bool {
+		got := DecodeWeight(EncodeWeight(w))
+		return got == w || (w != w && got != got) // NaN-safe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	fetch, _ := NewDataFetch(1, 0x40, 2, 3, 32, 1)
+	if s := fetch.String(); !strings.Contains(s, "DataFetch") || !strings.Contains(s, "32B") {
+		t.Errorf("fetch string = %q", s)
+	}
+	cfg, _ := NewConfig(1, 0x40, 2, 3, 8, 32)
+	if s := cfg.String(); !strings.Contains(s, "Configuration") || !strings.Contains(s, "cand=8") {
+		t.Errorf("config string = %q", s)
+	}
+	std := Instruction{Valid: true, Opcode: OpMemRd}
+	if s := std.String(); !strings.Contains(s, "MemRd") {
+		t.Errorf("std string = %q", s)
+	}
+}

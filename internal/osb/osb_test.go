@@ -1,0 +1,251 @@
+package osb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pifsrec/internal/sim"
+)
+
+func TestHitMissBasics(t *testing.T) {
+	b := New(MinCapacity, LRU)
+	if b.Access(0x1000, 64) {
+		t.Fatal("first access hit an empty cache")
+	}
+	if !b.Access(0x1000, 64) {
+		t.Fatal("second access missed")
+	}
+	st := b.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", got)
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	b := New(MinCapacity, FIFO)
+	n := MinCapacity / 64
+	for i := 0; i < n; i++ {
+		b.Access(uint64(i*64), 64)
+	}
+	if b.Used() != MinCapacity || b.Len() != n {
+		t.Fatalf("used=%d len=%d, want full", b.Used(), b.Len())
+	}
+	// One more distinct vector forces an eviction under FIFO.
+	b.Access(uint64(n*64), 64)
+	if b.Used() != MinCapacity {
+		t.Fatalf("used=%d after eviction, want %d", b.Used(), MinCapacity)
+	}
+	if b.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", b.Stats().Evictions)
+	}
+	if b.Contains(0) {
+		t.Fatal("FIFO did not evict the oldest entry")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	b := New(MinCapacity, LRU)
+	n := MinCapacity / 64
+	for i := 0; i < n; i++ {
+		b.Access(uint64(i*64), 64)
+	}
+	// Touch entry 0 so it becomes most-recent.
+	b.Access(0, 64)
+	// Insert a new entry; the victim must be entry 1, not entry 0.
+	b.Access(uint64(n*64), 64)
+	if !b.Contains(0) {
+		t.Fatal("LRU evicted the most recently used entry")
+	}
+	if b.Contains(64) {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+}
+
+func TestFIFOIgnoresReuse(t *testing.T) {
+	b := New(MinCapacity, FIFO)
+	n := MinCapacity / 64
+	for i := 0; i < n; i++ {
+		b.Access(uint64(i*64), 64)
+	}
+	// Heavy reuse of entry 0 must not save it under FIFO.
+	for i := 0; i < 100; i++ {
+		b.Access(0, 64)
+	}
+	b.Access(uint64(n*64), 64)
+	if b.Contains(0) {
+		t.Fatal("FIFO honoured recency")
+	}
+}
+
+func TestHTRKeepsHotEntries(t *testing.T) {
+	b := New(MinCapacity, HTR)
+	n := MinCapacity / 64
+	// Fill and make every resident entry hot (frequency 3).
+	for r := 0; r < 3; r++ {
+		for i := 0; i < n; i++ {
+			b.Access(uint64(i*64), 64)
+		}
+	}
+	// A one-shot scan of cold addresses must not displace hot content.
+	evBefore := b.Stats().Evictions
+	for i := 0; i < n; i++ {
+		b.Access(uint64((n+i)*64), 64)
+	}
+	if b.Stats().Evictions != evBefore {
+		t.Fatalf("HTR evicted %d hot entries for a cold scan", b.Stats().Evictions-evBefore)
+	}
+	if !b.Contains(0) {
+		t.Fatal("hot entry lost")
+	}
+}
+
+func TestHTRAdmitsHotterCandidate(t *testing.T) {
+	b := New(MinCapacity, HTR)
+	n := MinCapacity / 64
+	for i := 0; i < n; i++ {
+		b.Access(uint64(i*64), 64) // all frequency 1
+	}
+	hot := uint64((n + 1) * 64)
+	// Access the candidate repeatedly: once its profiled frequency exceeds
+	// the coldest resident, it must be admitted.
+	for i := 0; i < 3; i++ {
+		b.Access(hot, 64)
+	}
+	if !b.Contains(hot) {
+		t.Fatal("hotter candidate never admitted")
+	}
+}
+
+func TestHTRBeatsLRUOnZipf(t *testing.T) {
+	// The paper's motivating result: on skewed embedding traffic with an
+	// irregular scan mixed in, frequency ranking beats recency (Fig 15).
+	run := func(p Policy) float64 {
+		b := New(64<<10, p)
+		rng := sim.NewRNG(42)
+		z := sim.NewZipf(rng, 1<<16, 1.05)
+		for i := 0; i < 200000; i++ {
+			var addr uint64
+			if i%4 == 3 {
+				// cold scan component
+				addr = uint64(1<<24) + uint64(i)*64
+			} else {
+				addr = uint64(z.Draw()) * 64
+			}
+			b.Access(addr, 64)
+		}
+		return b.Stats().HitRatio()
+	}
+	htr, lru, fifo := run(HTR), run(LRU), run(FIFO)
+	if htr <= lru {
+		t.Errorf("HTR hit ratio %.3f not above LRU %.3f", htr, lru)
+	}
+	if htr <= fifo {
+		t.Errorf("HTR hit ratio %.3f not above FIFO %.3f", htr, fifo)
+	}
+}
+
+func TestLatencyGrowsWithCapacity(t *testing.T) {
+	small := New(MinCapacity, HTR).LatencyNS()
+	large := New(MaxCapacity, HTR).LatencyNS()
+	if small < 1 {
+		t.Fatalf("32KB latency %d < 1 ns", small)
+	}
+	if large <= small {
+		t.Fatalf("1MB latency %d not above 32KB latency %d", large, small)
+	}
+	if large > 5 {
+		t.Fatalf("1MB latency %d ns outside Table II range", large)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	b := New(MinCapacity, LRU)
+	b.Access(0x40, 64)
+	if !b.Invalidate(0x40) {
+		t.Fatal("invalidate missed a cached entry")
+	}
+	if b.Contains(0x40) || b.Used() != 0 {
+		t.Fatal("entry survived invalidation")
+	}
+	if b.Invalidate(0x40) {
+		t.Fatal("double invalidation reported success")
+	}
+}
+
+func TestOversizedVectorNeverCached(t *testing.T) {
+	b := New(MinCapacity, LRU)
+	defer func() {
+		if recover() == nil {
+			t.Error("access larger than capacity accepted")
+		}
+	}()
+	b.Access(0, MinCapacity+64)
+}
+
+func TestBadConstruction(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(minBufferBytes-1, HTR) },
+		func() { New(maxBufferBytes+1, HTR) },
+		func() { New(MinCapacity, Policy("CLOCK")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUsedNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(addrs []uint16, pol uint8) bool {
+		policies := []Policy{HTR, LRU, FIFO}
+		b := New(MinCapacity, policies[int(pol)%3])
+		for _, a := range addrs {
+			size := 64 << (a % 3) // 64/128/256 B vectors
+			b.Access(uint64(a)*64, size)
+			if b.Used() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfilerDecay(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 8; i++ {
+		p.Record(0x100)
+	}
+	p.Record(0x200)
+	p.Decay()
+	if got := p.Count(0x100); got != 4 {
+		t.Fatalf("decayed count = %d, want 4", got)
+	}
+	if p.Count(0x200) != 0 {
+		t.Fatal("count of 1 should decay to zero")
+	}
+	if p.Tracked() != 1 {
+		t.Fatalf("Tracked = %d, want 1 after decay", p.Tracked())
+	}
+}
+
+func TestMixedVectorSizes(t *testing.T) {
+	b := New(MinCapacity, LRU)
+	b.Access(0, 128)
+	b.Access(1024, 256)
+	if b.Used() != 384 {
+		t.Fatalf("Used = %d, want 384", b.Used())
+	}
+	if !b.Access(0, 128) || !b.Access(1024, 256) {
+		t.Fatal("mixed-size entries not retrievable")
+	}
+}

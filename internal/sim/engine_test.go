@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestEngineFIFOWithinTick(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events fired out of order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 10 {
+			e.After(7, chain)
+		}
+	}
+	e.At(0, chain)
+	end := e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if end != 63 {
+		t.Fatalf("end = %d, want 63", end)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling twice or cancelling nil must be safe.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelMiddleOfQueue(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(Tick(i*10), func() { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Tick(i*10), func() { fired++ })
+	}
+	n := e.RunUntil(50)
+	if n != 5 || fired != 5 {
+		t.Fatalf("fired %d events until t=50, want 5", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want 50", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	// RunUntil past the queue should advance the clock.
+	e.RunUntil(1000)
+	if e.Now() != 1000 || e.Pending() != 0 {
+		t.Fatalf("Now=%d Pending=%d after drain", e.Now(), e.Pending())
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(5)
+	var chain func()
+	chain = func() { e.After(1, chain) }
+	e.At(0, chain)
+	defer func() {
+		if recover() == nil {
+			t.Error("event limit did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestEngineMonotonicTimeProperty(t *testing.T) {
+	// Property: regardless of the (possibly duplicate) schedule times chosen,
+	// events fire in non-decreasing time order.
+	f := func(delays []uint8) bool {
+		e := NewEngine()
+		var fireTimes []Tick
+		for _, d := range delays {
+			at := Tick(d)
+			e.At(at, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

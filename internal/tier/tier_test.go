@@ -1,0 +1,410 @@
+package tier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pifsrec/internal/sim"
+)
+
+func baseConfig() Config {
+	return Config{
+		Policy:       PolicyPIFS,
+		LocalBytes:   64 * PageBytes,
+		CXLNodes:     4,
+		CXLNodeBytes: 1024 * PageBytes,
+	}
+}
+
+func TestNodePredicates(t *testing.T) {
+	if NodeLocal.IsCXL() {
+		t.Error("local node classified as CXL")
+	}
+	if !FirstCXLNode.IsCXL() {
+		t.Error("first CXL node not classified as CXL")
+	}
+	if (FirstCXLNode + 3).CXLIndex() != 3 {
+		t.Error("CXLIndex wrong")
+	}
+}
+
+func TestInitialInterleave(t *testing.T) {
+	cfg := baseConfig()
+	cfg.InterleaveLocalShare = 0.8
+	m, err := NewManager(cfg, 40*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, cxl := 0, 0
+	for p := 0; p < m.Pages(); p++ {
+		if m.NodeOfPage(p) == NodeLocal {
+			local++
+		} else {
+			cxl++
+		}
+	}
+	// 4:1 interleave: 32 local, 8 CXL.
+	if local != 32 || cxl != 8 {
+		t.Fatalf("local/cxl = %d/%d, want 32/8", local, cxl)
+	}
+}
+
+func TestInitialPlacementRespectsLocalCapacity(t *testing.T) {
+	cfg := baseConfig()
+	cfg.LocalBytes = 4 * PageBytes
+	cfg.InterleaveLocalShare = 0.9
+	m, err := NewManager(cfg, 100*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := 0
+	for p := 0; p < m.Pages(); p++ {
+		if m.NodeOfPage(p) == NodeLocal {
+			local++
+		}
+	}
+	if local > 4 {
+		t.Fatalf("local pages %d exceed capacity 4", local)
+	}
+}
+
+func TestCXLOnlyPlacement(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CXLOnly = true
+	m, err := NewManager(cfg, 64*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.CXLNodes)
+	for p := 0; p < m.Pages(); p++ {
+		n := m.NodeOfPage(p)
+		if !n.IsCXL() {
+			t.Fatal("CXLOnly placed a page locally")
+		}
+		counts[n.CXLIndex()]++
+	}
+	// Striping must be even.
+	for i, c := range counts {
+		if c != 16 {
+			t.Fatalf("device %d has %d pages, want 16", i, c)
+		}
+	}
+}
+
+func TestFootprintOverCapacityFails(t *testing.T) {
+	cfg := baseConfig()
+	cfg.LocalBytes = 2 * PageBytes
+	cfg.CXLNodeBytes = 2 * PageBytes
+	if _, err := NewManager(cfg, 1000*PageBytes); err == nil {
+		t.Fatal("over-capacity footprint accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CXLNodes = 0
+	if _, err := NewManager(cfg, PageBytes); err == nil {
+		t.Error("zero CXL nodes accepted")
+	}
+	cfg = baseConfig()
+	cfg.Policy = "bogus"
+	if _, err := NewManager(cfg, PageBytes); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	cfg = baseConfig()
+	cfg.InterleaveLocalShare = 1.5
+	if _, err := NewManager(cfg, PageBytes); err == nil {
+		t.Error("interleave share > 1 accepted")
+	}
+	if _, err := NewManager(baseConfig(), 0); err == nil {
+		t.Error("zero footprint accepted")
+	}
+}
+
+func TestHotPagesMigrateToLocal(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CXLOnly = true // start everything remote
+	cfg.LocalBytes = 8 * PageBytes
+	m, err := NewManager(cfg, 64*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer pages 0..3.
+	for i := 0; i < 100; i++ {
+		for p := 0; p < 4; p++ {
+			m.Record(uint64(p * PageBytes))
+		}
+	}
+	es := m.Epoch()
+	if es.Swaps == 0 {
+		t.Fatal("no promotion happened")
+	}
+	for p := 0; p < 4; p++ {
+		if m.NodeOfPage(p) != NodeLocal {
+			t.Errorf("hot page %d still on %v", p, m.NodeOfPage(p))
+		}
+	}
+}
+
+func TestColdAgeThresholdGatesSwaps(t *testing.T) {
+	// With a saturated local tier, a remote page must beat the coldest
+	// local page by the threshold before a swap happens.
+	mk := func(threshold float64, remoteHits int) int {
+		cfg := baseConfig()
+		// Exactly one local page so the swap victim is the hot local page.
+		cfg.LocalBytes = 1 * PageBytes
+		cfg.ColdAgeThreshold = threshold
+		cfg.InterleaveLocalShare = 0.5
+		m, err := NewManager(cfg, 4*PageBytes)
+		if err != nil {
+			panic(err)
+		}
+		// Find one local and one remote page.
+		localPage, remotePage := -1, -1
+		for p := 0; p < m.Pages(); p++ {
+			if m.NodeOfPage(p) == NodeLocal && localPage < 0 {
+				localPage = p
+			}
+			if m.NodeOfPage(p).IsCXL() && remotePage < 0 {
+				remotePage = p
+			}
+		}
+		if localPage < 0 || remotePage < 0 {
+			panic("placement missing a tier")
+		}
+		for i := 0; i < 100; i++ {
+			m.Record(uint64(localPage * PageBytes))
+		}
+		for i := 0; i < remoteHits; i++ {
+			m.Record(uint64(remotePage * PageBytes))
+		}
+		return m.Epoch().Swaps
+	}
+	// 110 remote hits vs 100 local: above a 5% threshold, below 20%.
+	if got := mk(0.05, 110); got == 0 {
+		t.Error("5% threshold blocked a 10% hotter page")
+	}
+	if got := mk(0.20, 110); got != 0 {
+		t.Errorf("20%% threshold allowed a 10%% hotter page (%d swaps)", got)
+	}
+}
+
+func TestSpreadBalancesDevices(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CXLOnly = true
+	cfg.LocalBytes = 0
+	m, err := NewManager(cfg, 64*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer only pages on device 0.
+	for p := 0; p < m.Pages(); p++ {
+		if m.NodeOfPage(p).IsCXL() && m.NodeOfPage(p).CXLIndex() == 0 {
+			for i := 0; i < 50; i++ {
+				m.Record(uint64(p * PageBytes))
+			}
+		}
+	}
+	es := m.Epoch()
+	if es.SpreadMoves == 0 {
+		t.Fatal("no spreading happened under heavy imbalance")
+	}
+	// After spreading, device 0 must hold fewer hot pages than before.
+	dev0 := 0
+	for p := 0; p < m.Pages(); p++ {
+		if m.NodeOfPage(p).IsCXL() && m.NodeOfPage(p).CXLIndex() == 0 {
+			dev0++
+		}
+	}
+	if dev0 >= 16 {
+		t.Errorf("device 0 still holds %d pages after spreading", dev0)
+	}
+}
+
+func TestSpreadImprovesStdDevOverEpochs(t *testing.T) {
+	// Fig 13(b): the std dev of per-device access counts drops after PM.
+	run := func(policy Policy) float64 {
+		cfg := baseConfig()
+		cfg.Policy = policy
+		cfg.CXLOnly = true
+		cfg.LocalBytes = 0
+		m, err := NewManager(cfg, 256*PageBytes)
+		if err != nil {
+			panic(err)
+		}
+		rng := sim.NewRNG(42)
+		z := sim.NewZipf(rng, 256, 2.0)
+		// Several epochs of skewed traffic; measure the last epoch's skew.
+		for epoch := 0; epoch < 6; epoch++ {
+			for i := 0; i < 5000; i++ {
+				m.Record(uint64(z.Draw()) * PageBytes)
+			}
+			if epoch < 5 {
+				m.Epoch()
+			}
+		}
+		_, std := m.DeviceAccessStdDev()
+		return std
+	}
+	managed := run(PolicyPIFS)
+	static := run(PolicyNone)
+	if managed >= static {
+		t.Errorf("PM did not reduce device imbalance: std with=%.1f static=%.1f", managed, static)
+	}
+}
+
+func TestMigrationStallCosts(t *testing.T) {
+	mk := func(cacheLine bool) int64 {
+		cfg := baseConfig()
+		cfg.CXLOnly = true
+		cfg.CacheLineMigration = cacheLine
+		cfg.LocalBytes = 16 * PageBytes
+		m, err := NewManager(cfg, 64*PageBytes)
+		if err != nil {
+			panic(err)
+		}
+		for p := 0; p < 8; p++ {
+			for i := 0; i < 50; i++ {
+				m.Record(uint64(p * PageBytes))
+			}
+		}
+		return m.Epoch().StallNS
+	}
+	page := mk(false)
+	line := mk(true)
+	if page <= line {
+		t.Fatalf("page-block stall %d not above cache-line %d", page, line)
+	}
+	ratio := float64(page) / float64(line)
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Errorf("stall ratio %.2f, want ~5.1 (paper §IV-B4)", ratio)
+	}
+}
+
+func TestPolicyNoneNeverMigrates(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = PolicyNone
+	m, err := NewManager(cfg, 64*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		m.Record(uint64((i % 4) * PageBytes))
+	}
+	es := m.Epoch()
+	if es.PagesMigrated != 0 || es.StallNS != 0 {
+		t.Fatalf("static policy migrated: %+v", es)
+	}
+}
+
+func TestTPPPromotesOnReuse(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = PolicyTPP
+	cfg.CXLOnly = true
+	cfg.LocalBytes = 8 * PageBytes
+	m, err := NewManager(cfg, 32*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record(0)
+	m.Record(0)         // two accesses -> promote
+	m.Record(PageBytes) // one access -> stay
+	m.Epoch()
+	if m.NodeOfPage(0) != NodeLocal {
+		t.Error("reused page not promoted by TPP")
+	}
+	if m.NodeOfPage(1) == NodeLocal {
+		t.Error("singly-accessed page promoted by TPP")
+	}
+}
+
+func TestMoveHookFires(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CXLOnly = true
+	cfg.LocalBytes = 8 * PageBytes
+	m, err := NewManager(cfg, 32*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	m.SetMoveHook(func(page int, from, to Node) {
+		moved++
+		if from == to {
+			t.Error("hook fired for no-op move")
+		}
+	})
+	for i := 0; i < 10; i++ {
+		m.Record(0)
+	}
+	m.Epoch()
+	if moved == 0 {
+		t.Error("move hook never fired")
+	}
+}
+
+func TestLocalShareGrowsUnderPIFS(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CXLOnly = true
+	cfg.LocalBytes = 32 * PageBytes
+	m, err := NewManager(cfg, 128*PageBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(9)
+	z := sim.NewZipf(rng, 128, 1.1)
+	for epoch := 0; epoch < 4; epoch++ {
+		for i := 0; i < 3000; i++ {
+			m.Record(uint64(z.Draw()) * PageBytes)
+		}
+		m.Epoch()
+	}
+	if share := m.LocalShareOfAccesses(); share == 0 {
+		t.Error("no accesses ever landed locally despite hot-page promotion")
+	}
+	// After convergence, a fresh epoch of the same traffic should hit local
+	// DRAM for the majority of accesses (hot head of the Zipf).
+	before := m.NodeAccessCounts()[NodeLocal]
+	for i := 0; i < 3000; i++ {
+		m.Record(uint64(z.Draw()) * PageBytes)
+	}
+	after := m.NodeAccessCounts()[NodeLocal]
+	frac := float64(after-before) / 3000
+	if frac < 0.5 {
+		t.Errorf("converged local hit share %.2f, want > 0.5 for skewed traffic", frac)
+	}
+}
+
+func TestCapacityConservationProperty(t *testing.T) {
+	// Property: across arbitrary access patterns and epochs, every page has
+	// exactly one placement and node usage matches placement counts.
+	f := func(accesses []uint16, seed uint64) bool {
+		cfg := baseConfig()
+		cfg.LocalBytes = 16 * PageBytes
+		m, err := NewManager(cfg, 64*PageBytes)
+		if err != nil {
+			return false
+		}
+		for i, a := range accesses {
+			m.Record(uint64(int(a)%64) * PageBytes)
+			if i%16 == 15 {
+				m.Epoch()
+			}
+		}
+		m.Epoch()
+		counts := make(map[Node]int)
+		for p := 0; p < m.Pages(); p++ {
+			counts[m.NodeOfPage(p)]++
+		}
+		total := 0
+		for n, c := range counts {
+			if n == NodeLocal && c > 16 {
+				return false // local over capacity
+			}
+			total += c
+		}
+		return total == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// File format: a small custom binary encoding (the repository is stdlib-only
+// and offline, so no serialization dependencies).
+//
+//	magic   [8]byte  "PIFSTRC1"
+//	name    u16 len + bytes
+//	tables  u32
+//	rows    u64
+//	nbags   u64
+//	bags:   table u32 | flags u8 (bit0: weighted) | n u32 | n×u32 indices
+//	        [| n×f32 weights]
+//
+// All integers are little-endian.
+
+var fileMagic = [8]byte{'P', 'I', 'F', 'S', 'T', 'R', 'C', '1'}
+
+// Write serializes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	if len(t.Name) > math.MaxUint16 {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(t.Name)))
+	bw.Write(u16[:])
+	bw.WriteString(t.Name)
+
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(t.Tables))
+	bw.Write(u32[:])
+	binary.LittleEndian.PutUint64(u64[:], uint64(t.RowsPerTable))
+	bw.Write(u64[:])
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(t.Bags)))
+	bw.Write(u64[:])
+
+	for i := range t.Bags {
+		b := &t.Bags[i]
+		binary.LittleEndian.PutUint32(u32[:], uint32(b.Table))
+		bw.Write(u32[:])
+		flags := byte(0)
+		if b.Weights != nil {
+			flags |= 1
+		}
+		bw.WriteByte(flags)
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(b.Indices)))
+		bw.Write(u32[:])
+		for _, ix := range b.Indices {
+			binary.LittleEndian.PutUint32(u32[:], ix)
+			bw.Write(u32[:])
+		}
+		if b.Weights != nil {
+			for _, wt := range b.Weights {
+				binary.LittleEndian.PutUint32(u32[:], math.Float32bits(wt))
+				bw.Write(u32[:])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	readU16 := func() (uint16, error) {
+		var b [2]byte
+		_, err := io.ReadFull(br, b[:])
+		return binary.LittleEndian.Uint16(b[:]), err
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		_, err := io.ReadFull(br, b[:])
+		return binary.LittleEndian.Uint32(b[:]), err
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		_, err := io.ReadFull(br, b[:])
+		return binary.LittleEndian.Uint64(b[:]), err
+	}
+
+	nameLen, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	tables, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading tables: %w", err)
+	}
+	rows, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading rows: %w", err)
+	}
+	nbags, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading bag count: %w", err)
+	}
+	const maxBags = 1 << 28 // sanity bound against corrupt headers
+	if nbags > maxBags {
+		return nil, fmt.Errorf("trace: implausible bag count %d", nbags)
+	}
+
+	t := &Trace{
+		Name:         string(name),
+		Tables:       int(tables),
+		RowsPerTable: int64(rows),
+		Bags:         make([]Bag, 0, nbags),
+	}
+	for i := uint64(0); i < nbags; i++ {
+		table, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("trace: bag %d table: %w", i, err)
+		}
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: bag %d flags: %w", i, err)
+		}
+		n, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("trace: bag %d size: %w", i, err)
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("trace: bag %d implausible size %d", i, n)
+		}
+		b := Bag{Table: int32(table), Indices: make([]uint32, n)}
+		for k := range b.Indices {
+			if b.Indices[k], err = readU32(); err != nil {
+				return nil, fmt.Errorf("trace: bag %d index %d: %w", i, k, err)
+			}
+		}
+		if flags&1 != 0 {
+			b.Weights = make([]float32, n)
+			for k := range b.Weights {
+				bits, err := readU32()
+				if err != nil {
+					return nil, fmt.Errorf("trace: bag %d weight %d: %w", i, k, err)
+				}
+				b.Weights[k] = math.Float32frombits(bits)
+			}
+		}
+		t.Bags = append(t.Bags, b)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Save writes the trace to a file path.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file path.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

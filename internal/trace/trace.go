@@ -1,0 +1,276 @@
+// Package trace models DLRM embedding-access traces. The paper evaluates
+// with open-source Meta production traces plus synthetic traces that "emulate
+// various distribution types based on the access candidates observed in the
+// Meta traces" (§VI-C2): Zipfian, Normal, Uniform, and Random. The Meta
+// traces themselves are not redistributable, so this package provides a
+// Meta-like generator that reproduces their two published structural
+// properties — strong per-table popularity skew and short-term temporal
+// reuse — alongside the four synthetic distributions, and a compact binary
+// file format for persisting generated traces.
+package trace
+
+import (
+	"fmt"
+
+	"pifsrec/internal/sim"
+)
+
+// Kind selects the access-index distribution.
+type Kind string
+
+// Trace kinds; the short names match the paper's Fig 12(b) x-axis labels.
+const (
+	MetaLike Kind = "Meta" // skewed + temporally local, Meta-trace stand-in
+	Zipfian  Kind = "ZF"
+	Normal   Kind = "NoL"
+	Uniform  Kind = "Um"
+	Random   Kind = "Rm"
+)
+
+// Kinds lists every generator in Fig 12(b) order.
+func Kinds() []Kind { return []Kind{MetaLike, Zipfian, Normal, Uniform, Random} }
+
+// Bag is one SparseLengthSum lookup: a multi-hot set of row indices in one
+// embedding table, pooled (summed) into a single output vector.
+type Bag struct {
+	Table   int32
+	Indices []uint32
+	// Weights are optional per-index FP32 scales; nil means unweighted SLS.
+	Weights []float32
+}
+
+// Trace is an ordered sequence of SLS bags plus the table shapes needed to
+// interpret the indices.
+type Trace struct {
+	Name         string
+	Tables       int
+	RowsPerTable int64
+	Bags         []Bag
+}
+
+// Spec parameterizes trace generation.
+type Spec struct {
+	Kind         Kind
+	Tables       int
+	RowsPerTable int64
+	// Batches × BatchSize queries are generated; each query looks up every
+	// table once with BagSize indices (the paper's default pooling is 8).
+	Batches   int
+	BatchSize int
+	BagSize   int
+	// ZipfS is the skew exponent for Zipfian and MetaLike kinds; zero means
+	// the default 0.95.
+	ZipfS float64
+	Seed  uint64
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Tables <= 0:
+		return fmt.Errorf("trace: Tables must be positive, got %d", s.Tables)
+	case s.RowsPerTable <= 0:
+		return fmt.Errorf("trace: RowsPerTable must be positive, got %d", s.RowsPerTable)
+	case s.Batches <= 0 || s.BatchSize <= 0:
+		return fmt.Errorf("trace: Batches (%d) and BatchSize (%d) must be positive", s.Batches, s.BatchSize)
+	case s.BagSize <= 0:
+		return fmt.Errorf("trace: BagSize must be positive, got %d", s.BagSize)
+	case s.RowsPerTable > 1<<32:
+		return fmt.Errorf("trace: RowsPerTable %d exceeds uint32 index space", s.RowsPerTable)
+	}
+	switch s.Kind {
+	case MetaLike, Zipfian, Normal, Uniform, Random:
+	default:
+		return fmt.Errorf("trace: unknown kind %q", s.Kind)
+	}
+	return nil
+}
+
+// TotalLookups returns the number of row-vector fetches the trace implies.
+func (t *Trace) TotalLookups() int64 {
+	var n int64
+	for i := range t.Bags {
+		n += int64(len(t.Bags[i].Indices))
+	}
+	return n
+}
+
+// Validate checks every index against the table shapes.
+func (t *Trace) Validate() error {
+	for i := range t.Bags {
+		b := &t.Bags[i]
+		if b.Table < 0 || int(b.Table) >= t.Tables {
+			return fmt.Errorf("trace: bag %d references table %d of %d", i, b.Table, t.Tables)
+		}
+		if b.Weights != nil && len(b.Weights) != len(b.Indices) {
+			return fmt.Errorf("trace: bag %d has %d weights for %d indices", i, len(b.Weights), len(b.Indices))
+		}
+		for _, ix := range b.Indices {
+			if int64(ix) >= t.RowsPerTable {
+				return fmt.Errorf("trace: bag %d index %d beyond table rows %d", i, ix, t.RowsPerTable)
+			}
+		}
+	}
+	return nil
+}
+
+// AccessCounts tallies per-(table,row) access frequencies; the tier layer's
+// tests use it to check hotness detection against ground truth.
+func (t *Trace) AccessCounts() map[int32]map[uint32]int {
+	out := make(map[int32]map[uint32]int, t.Tables)
+	for i := range t.Bags {
+		b := &t.Bags[i]
+		m := out[b.Table]
+		if m == nil {
+			m = make(map[uint32]int)
+			out[b.Table] = m
+		}
+		for _, ix := range b.Indices {
+			m[ix]++
+		}
+	}
+	return out
+}
+
+// Generate builds a trace from spec. Identical specs produce identical
+// traces.
+func Generate(spec Spec) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(spec.Seed)
+	s := spec.ZipfS
+	if s == 0 {
+		s = 0.95
+	}
+
+	tr := &Trace{
+		Name:         string(spec.Kind),
+		Tables:       spec.Tables,
+		RowsPerTable: spec.RowsPerTable,
+	}
+	queries := spec.Batches * spec.BatchSize
+	tr.Bags = make([]Bag, 0, queries*spec.Tables)
+
+	gen := newIndexGen(spec.Kind, rng, spec.Tables, spec.RowsPerTable, s)
+
+	// Production tables pool wildly different numbers of rows per lookup
+	// (a feature's pooling factor is a property of the feature). Skewed
+	// kinds carry per-table multipliers; this is what loads some devices
+	// harder than others under contiguous placement (Fig 13(b)).
+	bagScale := make([]float64, spec.Tables)
+	for i := range bagScale {
+		switch spec.Kind {
+		case MetaLike, Zipfian:
+			u := rng.Float64()
+			bagScale[i] = 0.25 + 2.75*u*u
+		default:
+			bagScale[i] = 1
+		}
+	}
+
+	for q := 0; q < queries; q++ {
+		for table := 0; table < spec.Tables; table++ {
+			bag := int(float64(spec.BagSize)*bagScale[table] + 0.5)
+			if bag < 1 {
+				bag = 1
+			}
+			if spec.Kind == Random {
+				bag = 1 + rng.Intn(2*spec.BagSize) // random pooling widths
+			}
+			idx := make([]uint32, bag)
+			for k := range idx {
+				idx[k] = gen.draw(table)
+			}
+			tr.Bags = append(tr.Bags, Bag{Table: int32(table), Indices: idx})
+		}
+	}
+	return tr, nil
+}
+
+// indexGen draws row indices for one table under a distribution.
+type indexGen struct {
+	kind Kind
+	rng  *sim.RNG
+	rows int64
+	zipf []*sim.Zipf
+	// hotShift decorrelates which rows are hot in each table so skewed
+	// tables do not all hammer row zero.
+	hotShift []uint32
+	// recent implements MetaLike temporal reuse: a sliding window of
+	// recently drawn indices per table.
+	recent [][]uint32
+}
+
+// metaReuseProb is the probability a MetaLike draw repeats a recent index,
+// reproducing the high short-term reuse of production embedding traffic
+// that the on-switch buffer exploits (§IV-A4).
+const metaReuseProb = 0.3
+
+// metaWindow bounds the reuse window per table.
+const metaWindow = 256
+
+func newIndexGen(kind Kind, rng *sim.RNG, tables int, rows int64, s float64) *indexGen {
+	g := &indexGen{kind: kind, rng: rng, rows: rows}
+	zipfRows := rows
+	if zipfRows > 1<<20 {
+		zipfRows = 1 << 20 // CDF table bound; the tail beyond is near-uniform anyway
+	}
+	switch kind {
+	case Zipfian, MetaLike:
+		g.zipf = make([]*sim.Zipf, tables)
+		z := sim.NewZipf(rng, int(zipfRows), s)
+		for i := range g.zipf {
+			g.zipf[i] = z // share the CDF; draws use the shared RNG
+		}
+		g.hotShift = make([]uint32, tables)
+		for i := range g.hotShift {
+			g.hotShift[i] = uint32(rng.Int63n(rows))
+		}
+	}
+	if kind == MetaLike {
+		g.recent = make([][]uint32, tables)
+	}
+	return g
+}
+
+func (g *indexGen) draw(table int) uint32 {
+	switch g.kind {
+	case Uniform, Random:
+		return uint32(g.rng.Int63n(g.rows))
+	case Normal:
+		// Indices cluster around the table's midpoint with sigma = rows/8.
+		for {
+			v := float64(g.rows)/2 + g.rng.NormFloat64()*float64(g.rows)/8
+			if v >= 0 && v < float64(g.rows) {
+				return uint32(v)
+			}
+		}
+	case Zipfian:
+		return g.shifted(table, uint32(g.zipf[table].Draw()))
+	case MetaLike:
+		if w := g.recent[table]; len(w) > 0 && g.rng.Float64() < metaReuseProb {
+			return w[g.rng.Intn(len(w))]
+		}
+		ix := g.shifted(table, uint32(g.zipf[table].Draw()))
+		w := append(g.recent[table], ix)
+		if len(w) > metaWindow {
+			w = w[len(w)-metaWindow:]
+		}
+		g.recent[table] = w
+		return ix
+	default:
+		panic(fmt.Sprintf("trace: draw on unknown kind %q", g.kind))
+	}
+}
+
+// shifted maps a popularity rank onto a row index with a multiplicative
+// scatter so hot rows land on different OS pages rather than clustering at
+// the front of the table. This mirrors production embedding tables, where
+// popular IDs are spread across the index space — the property that makes
+// page-granular placement capture less locality than row-granular caching
+// (§IV-B1) and separates Pond+PM from the row-granular schemes in Fig 12.
+func (g *indexGen) shifted(table int, ix uint32) uint32 {
+	scattered := (uint64(ix)*2654435761 + uint64(g.hotShift[table])) % uint64(g.rows)
+	return uint32(scattered)
+}

@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func smallSpec(kind Kind) Spec {
+	return Spec{
+		Kind:         kind,
+		Tables:       4,
+		RowsPerTable: 4096,
+		Batches:      2,
+		BatchSize:    16,
+		BagSize:      8,
+		Seed:         7,
+	}
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		tr, err := Generate(smallSpec(kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", kind, err)
+		}
+		wantBags := 2 * 16 * 4
+		if len(tr.Bags) != wantBags {
+			t.Fatalf("%s: %d bags, want %d", kind, len(tr.Bags), wantBags)
+		}
+		// Uniform/Normal use the exact pooling factor; skewed kinds carry
+		// per-table pooling multipliers and Random randomizes widths.
+		if kind == Uniform || kind == Normal {
+			if tr.TotalLookups() != int64(wantBags*8) {
+				t.Fatalf("%s: lookups = %d, want %d", kind, tr.TotalLookups(), wantBags*8)
+			}
+		} else if tr.TotalLookups() < int64(wantBags) {
+			t.Fatalf("%s: implausibly few lookups %d", kind, tr.TotalLookups())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range Kinds() {
+		a, _ := Generate(smallSpec(kind))
+		b, _ := Generate(smallSpec(kind))
+		if len(a.Bags) != len(b.Bags) {
+			t.Fatalf("%s: nondeterministic bag count", kind)
+		}
+		for i := range a.Bags {
+			if a.Bags[i].Table != b.Bags[i].Table {
+				t.Fatalf("%s: bag %d table differs", kind, i)
+			}
+			for k := range a.Bags[i].Indices {
+				if a.Bags[i].Indices[k] != b.Bags[i].Indices[k] {
+					t.Fatalf("%s: bag %d index %d differs", kind, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.Tables = 0 },
+		func(s *Spec) { s.RowsPerTable = 0 },
+		func(s *Spec) { s.Batches = 0 },
+		func(s *Spec) { s.BatchSize = -1 },
+		func(s *Spec) { s.BagSize = 0 },
+		func(s *Spec) { s.Kind = "bogus" },
+	}
+	for i, mutate := range bad {
+		s := smallSpec(Uniform)
+		mutate(&s)
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+// skewness measures the share of accesses landing on the hottest 1% of rows.
+func skewness(tr *Trace) float64 {
+	counts := tr.AccessCounts()
+	var all []int
+	total := 0
+	for _, m := range counts {
+		for _, c := range m {
+			all = append(all, c)
+			total += c
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	hotRows := int(float64(tr.Tables) * float64(tr.RowsPerTable) * 0.01)
+	if hotRows < 1 {
+		hotRows = 1
+	}
+	if hotRows > len(all) {
+		hotRows = len(all)
+	}
+	head := 0
+	for i := 0; i < hotRows; i++ {
+		head += all[i]
+	}
+	return float64(head) / float64(total)
+}
+
+func TestDistributionShapes(t *testing.T) {
+	spec := smallSpec(Uniform)
+	spec.Batches = 8
+	mk := func(kind Kind) *Trace {
+		s := spec
+		s.Kind = kind
+		tr, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	uni := skewness(mk(Uniform))
+	zipf := skewness(mk(Zipfian))
+	meta := skewness(mk(MetaLike))
+	if zipf < 2*uni {
+		t.Errorf("zipfian skew %.3f not well above uniform %.3f", zipf, uni)
+	}
+	if meta < 2*uni {
+		t.Errorf("meta-like skew %.3f not well above uniform %.3f", meta, uni)
+	}
+}
+
+func TestNormalClustersAroundMidpoint(t *testing.T) {
+	tr, err := Generate(smallSpec(Normal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := float64(tr.RowsPerTable) / 2
+	within := 0
+	total := 0
+	for i := range tr.Bags {
+		for _, ix := range tr.Bags[i].Indices {
+			total++
+			if math.Abs(float64(ix)-mid) < float64(tr.RowsPerTable)/4 {
+				within++
+			}
+		}
+	}
+	// ±2 sigma (= rows/4) should capture ~95% of draws.
+	if frac := float64(within) / float64(total); frac < 0.9 {
+		t.Errorf("normal trace: only %.2f of draws within 2 sigma", frac)
+	}
+}
+
+func TestMetaLikeHasReuse(t *testing.T) {
+	spec := smallSpec(MetaLike)
+	spec.Batches = 4
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse: the number of distinct indices should be well below total.
+	counts := tr.AccessCounts()
+	distinct := 0
+	for _, m := range counts {
+		distinct += len(m)
+	}
+	total := int(tr.TotalLookups())
+	if float64(distinct) > 0.8*float64(total) {
+		t.Errorf("meta-like trace has little reuse: %d distinct of %d", distinct, total)
+	}
+}
+
+func TestRandomKindVariesBagSize(t *testing.T) {
+	tr, err := Generate(smallSpec(Random))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int]bool{}
+	for i := range tr.Bags {
+		sizes[len(tr.Bags[i].Indices)] = true
+	}
+	if len(sizes) < 2 {
+		t.Error("random trace has constant bag size")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr, err := Generate(smallSpec(Zipfian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add weights to one bag to exercise the weighted path.
+	tr.Bags[0].Weights = make([]float32, len(tr.Bags[0].Indices))
+	for i := range tr.Bags[0].Weights {
+		tr.Bags[0].Weights[i] = float32(i) * 0.5
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Tables != tr.Tables || got.RowsPerTable != tr.RowsPerTable {
+		t.Fatalf("header mismatch: %+v vs %+v", got, tr)
+	}
+	if len(got.Bags) != len(tr.Bags) {
+		t.Fatalf("bag count %d vs %d", len(got.Bags), len(tr.Bags))
+	}
+	for i := range tr.Bags {
+		a, b := tr.Bags[i], got.Bags[i]
+		if a.Table != b.Table || len(a.Indices) != len(b.Indices) {
+			t.Fatalf("bag %d mismatch", i)
+		}
+		for k := range a.Indices {
+			if a.Indices[k] != b.Indices[k] {
+				t.Fatalf("bag %d index %d mismatch", i, k)
+			}
+		}
+		if (a.Weights == nil) != (b.Weights == nil) {
+			t.Fatalf("bag %d weights presence mismatch", i)
+		}
+		for k := range a.Weights {
+			if a.Weights[k] != b.Weights[k] {
+				t.Fatalf("bag %d weight %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated valid prefix.
+	tr, _ := Generate(smallSpec(Uniform))
+	var buf bytes.Buffer
+	tr.Write(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.bin")
+	tr, _ := Generate(smallSpec(MetaLike))
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalLookups() != tr.TotalLookups() {
+		t.Fatalf("lookups %d vs %d", got.TotalLookups(), tr.TotalLookups())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, kindSel uint8) bool {
+		spec := smallSpec(Kinds()[int(kindSel)%len(Kinds())])
+		spec.Seed = seed
+		spec.Batches = 1
+		spec.BatchSize = 4
+		tr, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.TotalLookups() != tr.TotalLookups() {
+			return false
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadBags(t *testing.T) {
+	tr := &Trace{Tables: 2, RowsPerTable: 100}
+	tr.Bags = []Bag{{Table: 5, Indices: []uint32{1}}}
+	if tr.Validate() == nil {
+		t.Error("out-of-range table accepted")
+	}
+	tr.Bags = []Bag{{Table: 0, Indices: []uint32{100}}}
+	if tr.Validate() == nil {
+		t.Error("out-of-range index accepted")
+	}
+	tr.Bags = []Bag{{Table: 0, Indices: []uint32{1, 2}, Weights: []float32{1}}}
+	if tr.Validate() == nil {
+		t.Error("weight/index length mismatch accepted")
+	}
+}

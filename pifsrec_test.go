@@ -1,0 +1,96 @@
+package pifsrec
+
+import (
+	"math"
+	"testing"
+)
+
+func smallModel() ModelConfig {
+	m := RMC1().Scaled(64)
+	m.Tables = 4
+	return m
+}
+
+func TestSimulateRoundTrip(t *testing.T) {
+	m := smallModel()
+	tr, err := TraceFor(MetaLike, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Schemes() {
+		r, err := Simulate(Config{Scheme: scheme, Model: m, Trace: tr, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if r.Bags == 0 || r.NSPerBag <= 0 {
+			t.Fatalf("%s: empty result %+v", scheme, r)
+		}
+	}
+}
+
+func TestSessionInferAndMeasure(t *testing.T) {
+	s, err := NewSession(smallModel(), PIFSRec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Model().Config
+	q := Query{Dense: make([]float32, cfg.DenseFeatures)}
+	for i := range q.Dense {
+		q.Dense[i] = 0.1
+	}
+	for tb := 0; tb < cfg.Tables; tb++ {
+		q.Bags = append(q.Bags, []uint32{1, 5, 9})
+	}
+	p, err := s.Infer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(float64(p)) {
+		t.Fatalf("CTR = %v", p)
+	}
+
+	lat, err := s.MeasureSLS([]Query{q, q, q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatalf("SLS latency %v", lat)
+	}
+	queries, sls := s.Stats()
+	if queries != 1 || sls <= 0 {
+		t.Fatalf("stats = %d, %v", queries, sls)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := NewSession(smallModel(), Scheme("warp-drive"), 1); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	s, err := NewSession(smallModel(), Pond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MeasureSLS([]Query{{Bags: [][]uint32{{1}}}}); err == nil {
+		t.Error("shape-mismatched query accepted")
+	}
+}
+
+func TestSchemeComparisonThroughPublicAPI(t *testing.T) {
+	m := smallModel()
+	tr, err := TraceFor(MetaLike, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pond, err := Simulate(Config{Scheme: Pond, Model: m, Trace: tr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pifs, err := Simulate(Config{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pifs.NSPerBag >= pond.NSPerBag {
+		t.Errorf("PIFS-Rec (%.0f ns/bag) not faster than Pond (%.0f ns/bag)",
+			pifs.NSPerBag, pond.NSPerBag)
+	}
+}
