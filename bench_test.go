@@ -14,7 +14,10 @@ package pifsrec
 //	go test -bench=BenchmarkFig12a
 
 import (
+	"container/heap"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"pifsrec/internal/dlrm"
@@ -89,6 +92,174 @@ func BenchmarkSchemes(b *testing.B) {
 }
 
 // Substrate micro-benchmarks.
+
+// BenchmarkEngineSchedule measures steady-state event kernel throughput: a
+// pool of self-rescheduling timers with mixed near (calendar ring) and far
+// (heap) periods, one schedule per fire. Allocs/op must be 0 once the arena
+// is warm.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.NewEngine()
+	remaining := b.N
+	const timers = 64
+	for k := 0; k < timers; k++ {
+		period := sim.Tick(1 + k%13)
+		if k%8 == 0 {
+			period = 5000 + sim.Tick(k) // beyond the ring horizon: heap path
+		}
+		var fn func()
+		fn = func() {
+			remaining--
+			if remaining > 0 {
+				eng.After(period, fn)
+			}
+		}
+		eng.After(period, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for eng.Step() {
+	}
+	if eng.Fired() < uint64(b.N) {
+		b.Fatalf("fired %d events, want >= %d", eng.Fired(), b.N)
+	}
+}
+
+// heapEvent/heapQueue/heapKernel reproduce the pre-calendar container/heap
+// kernel (one *Event allocation per schedule) as the benchmark baseline.
+type heapEvent struct {
+	at   sim.Tick
+	seq  uint64
+	fn   func()
+	heap int
+}
+
+type heapQueue []*heapEvent
+
+func (h heapQueue) Len() int { return len(h) }
+func (h heapQueue) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h heapQueue) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heap = i
+	h[j].heap = j
+}
+func (h *heapQueue) Push(x any) {
+	e := x.(*heapEvent)
+	e.heap = len(*h)
+	*h = append(*h, e)
+}
+func (h *heapQueue) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heap = -1
+	*h = old[:n-1]
+	return e
+}
+
+type heapKernel struct {
+	now   sim.Tick
+	seq   uint64
+	queue heapQueue
+}
+
+func (k *heapKernel) after(d sim.Tick, fn func()) {
+	heap.Push(&k.queue, &heapEvent{at: k.now + d, seq: k.seq, fn: fn})
+	k.seq++
+}
+
+func (k *heapKernel) step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(*heapEvent)
+	k.now = ev.at
+	ev.fn()
+	return true
+}
+
+// BenchmarkEngineScheduleHeapBaseline runs the identical timer workload on
+// the container/heap kernel this repository used before the calendar queue;
+// the ratio to BenchmarkEngineSchedule is the kernel speedup.
+func BenchmarkEngineScheduleHeapBaseline(b *testing.B) {
+	k := &heapKernel{}
+	remaining := b.N
+	const timers = 64
+	for t := 0; t < timers; t++ {
+		period := sim.Tick(1 + t%13)
+		if t%8 == 0 {
+			period = 5000 + sim.Tick(t)
+		}
+		var fn func()
+		fn = func() {
+			remaining--
+			if remaining > 0 {
+				k.after(period, fn)
+			}
+		}
+		k.after(period, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k.step() {
+	}
+}
+
+// BenchmarkEngineCancel measures schedule+cancel cycles across both queue
+// structures; steady-state allocs/op must be 0 (slots recycle through the
+// free list).
+func BenchmarkEngineCancel(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := sim.Tick(5 + i%128)
+		if i%4 == 0 {
+			d += 100000 // heap resident
+		}
+		ev := eng.After(d, fn)
+		eng.Cancel(ev)
+	}
+	if eng.Pending() != 0 {
+		b.Fatalf("Pending = %d after cancelling everything", eng.Pending())
+	}
+}
+
+// BenchmarkHarnessParallel measures the worker-pool fan-out on a scheme x
+// trace-kind sweep (the Fig12b configuration matrix); the serial sub-bench
+// is the baseline the pool speedup is read against.
+func BenchmarkHarnessParallel(b *testing.B) {
+	m := dlrm.RMC4().Scaled(64)
+	var cfgs []engine.Config
+	for _, kind := range trace.Kinds() {
+		tr, err := trace.Generate(trace.Spec{
+			Kind: kind, Tables: m.Tables, RowsPerTable: m.EmbRows,
+			Batches: 2, BatchSize: 4, BagSize: 32, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range engine.Schemes() {
+			cfgs = append(cfgs, engine.Config{Scheme: s, Model: m, Trace: tr, Seed: 3})
+		}
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := harness.NewRunner(workers)
+			for i := 0; i < b.N; i++ {
+				if res := r.RunConfigs(cfgs); len(res) != len(cfgs) {
+					b.Fatal("short result set")
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkDRAMStreaming(b *testing.B) {
 	geo := dram.Table2Geometry()

@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	pifsbench -experiment fig12a     # one experiment
-//	pifsbench -experiment all        # everything (EXPERIMENTS.md source)
+//	pifsbench fig12a                 # one experiment
+//	pifsbench -experiment fig12a     # same, flag form
+//	pifsbench                        # everything (EXPERIMENTS.md source)
 //	pifsbench -list                  # available experiment ids
 package main
 
@@ -26,11 +27,15 @@ func main() {
 		}
 		return
 	}
+	id := *experiment
+	if flag.NArg() > 0 { // positional form: pifsbench fig12a
+		id = flag.Arg(0)
+	}
 	var err error
-	if *experiment == "all" {
+	if id == "all" {
 		err = harness.RunAll(os.Stdout)
 	} else {
-		err = harness.Run(*experiment, os.Stdout)
+		err = harness.Run(id, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsbench:", err)

@@ -1,0 +1,3 @@
+module pifsrec
+
+go 1.24

@@ -66,6 +66,9 @@ type MLP struct {
 	sizes   []int // sizes[0] = input dim, sizes[1:] = layer widths
 	weights [][]float32
 	biases  [][]float32
+	// scratch holds ping-ponged layer activations so Forward allocates
+	// nothing in steady state; grown on first use.
+	scratch [2][]float32
 }
 
 // NewMLP builds an MLP mapping inputDim to the given layer widths, with
@@ -95,7 +98,9 @@ func (m *MLP) InputDim() int { return m.sizes[0] }
 // OutputDim returns the final layer width.
 func (m *MLP) OutputDim() int { return m.sizes[len(m.sizes)-1] }
 
-// Forward applies the stack to x and returns a fresh output slice.
+// Forward applies the stack to x. The returned slice is scratch owned by
+// the MLP and is overwritten by the next Forward call on the same instance;
+// copy it to retain it across calls.
 func (m *MLP) Forward(x []float32) []float32 {
 	if len(x) != m.InputDim() {
 		panic(fmt.Sprintf("dlrm: MLP input %d != expected %d", len(x), m.InputDim()))
@@ -104,7 +109,10 @@ func (m *MLP) Forward(x []float32) []float32 {
 	for l := range m.weights {
 		in, out := m.sizes[l], m.sizes[l+1]
 		w, b := m.weights[l], m.biases[l]
-		next := make([]float32, out)
+		if cap(m.scratch[l&1]) < out {
+			m.scratch[l&1] = make([]float32, out)
+		}
+		next := m.scratch[l&1][:out]
 		for o := 0; o < out; o++ {
 			acc := b[o]
 			row := w[o*in : (o+1)*in]
@@ -125,12 +133,22 @@ func (m *MLP) Forward(x []float32) []float32 {
 	return cur
 }
 
-// Model is a complete functional DLRM: tables plus both MLP stacks.
+// Model is a complete functional DLRM: tables plus both MLP stacks. A Model
+// reuses internal scratch buffers across Infer calls and is therefore not
+// safe for concurrent use; run one Model per goroutine.
 type Model struct {
 	Config ModelConfig
 	Bottom *MLP
 	Top    *MLP
 	Tables []*EmbeddingTable
+
+	// Inference scratch, grown on first use: pooled SLS outputs (flat
+	// backing plus per-table views) and the interaction layer's buffers.
+	poolFlat []float32
+	pooled   [][]float32
+	proj     []float32
+	vecs     [][]float32
+	interOut []float32
 }
 
 // NewModel instantiates a functional model from a (typically Scaled) config.
@@ -153,20 +171,31 @@ func NewModel(cfg ModelConfig, seed uint64) (*Model, error) {
 
 // Interact computes the feature-interaction layer (Fig 1): the bottom MLP
 // output is concatenated with the pairwise dot products among the pooled
-// embedding vectors and the bottom output's embedding-space projection.
+// embedding vectors and the bottom output's embedding-space projection. The
+// returned slice is scratch owned by the Model and is overwritten by the
+// next Interact/Infer call.
 func (m *Model) Interact(bottomOut []float32, pooled [][]float32) []float32 {
 	d := m.Config.EmbDim
 	// Project the bottom output into embedding space by truncation/padding;
 	// production DLRMs size the bottom MLP to end at EmbDim, but Table I's
 	// stacks do not always, so the projection keeps shapes composable.
-	proj := make([]float32, d)
+	if cap(m.proj) < d {
+		m.proj = make([]float32, d)
+	}
+	proj := m.proj[:d]
+	for i := range proj {
+		proj[i] = 0
+	}
 	copy(proj, bottomOut)
 
-	vecs := make([][]float32, 0, len(pooled)+1)
-	vecs = append(vecs, proj)
+	vecs := append(m.vecs[:0], proj)
 	vecs = append(vecs, pooled...)
+	m.vecs = vecs
 
-	out := make([]float32, 0, m.Config.topInputDim())
+	if cap(m.interOut) < m.Config.topInputDim() {
+		m.interOut = make([]float32, 0, m.Config.topInputDim())
+	}
+	out := m.interOut[:0]
 	out = append(out, bottomOut...)
 	for i := 0; i < len(vecs); i++ {
 		for j := i + 1; j < len(vecs); j++ {
@@ -177,6 +206,7 @@ func (m *Model) Interact(bottomOut []float32, pooled [][]float32) []float32 {
 			out = append(out, dot)
 		}
 	}
+	m.interOut = out
 	return out
 }
 
@@ -198,18 +228,22 @@ func (m *Model) Infer(q Query) (float32, error) {
 	}
 	bottom := m.Bottom.Forward(q.Dense)
 
-	pooled := make([][]float32, m.Config.Tables)
+	if m.pooled == nil {
+		m.poolFlat = make([]float32, m.Config.Tables*m.Config.EmbDim)
+		m.pooled = make([][]float32, m.Config.Tables)
+		for t := range m.pooled {
+			m.pooled[t] = m.poolFlat[t*m.Config.EmbDim : (t+1)*m.Config.EmbDim]
+		}
+	}
 	for t := range m.Tables {
-		out := make([]float32, m.Config.EmbDim)
 		var w []float32
 		if q.Weights != nil {
 			w = q.Weights[t]
 		}
-		m.Tables[t].SLS(q.Bags[t], w, out)
-		pooled[t] = out
+		m.Tables[t].SLS(q.Bags[t], w, m.pooled[t])
 	}
 
-	z := m.Top.Forward(m.Interact(bottom, pooled))
+	z := m.Top.Forward(m.Interact(bottom, m.pooled))
 	return sigmoid(z[0]), nil
 }
 

@@ -1,0 +1,74 @@
+package engine
+
+// Determinism regression tests for the calendar-queue kernel swap: every
+// (scheme x trace-kind) configuration must produce an identical Result on
+// repeated runs — byte-for-byte, including multi-switch fan-out whose link
+// sends are ordered by sortedSwitches.
+
+import (
+	"reflect"
+	"testing"
+
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/trace"
+)
+
+func matrixTrace(t *testing.T, kind trace.Kind, m dlrm.ModelConfig) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.Spec{
+		Kind: kind, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 1, BatchSize: 4, BagSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestResultMatrixDeterministic runs the full scheme x trace-kind matrix
+// twice and requires identical Results.
+func TestResultMatrixDeterministic(t *testing.T) {
+	m := dlrm.RMC4().Scaled(64)
+	for _, kind := range trace.Kinds() {
+		tr := matrixTrace(t, kind, m)
+		for _, s := range Schemes() {
+			cfg := Config{Scheme: s, Model: m, Trace: tr, Seed: 3}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, s, err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s rerun: %v", kind, s, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s/%s: results differ between runs:\n  %#v\n  %#v", kind, s, a, b)
+			}
+		}
+	}
+}
+
+// TestMultiSwitchDeterministic pins the sortedSwitches fix: a scaled-out
+// fabric (several switches, hosts, and devices) must also be reproducible,
+// which the old map-ordered link fan-out did not guarantee.
+func TestMultiSwitchDeterministic(t *testing.T) {
+	m := dlrm.RMC4().Scaled(64)
+	tr := matrixTrace(t, trace.MetaLike, m)
+	cfg := Config{
+		Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3,
+		Switches: 4, Devices: 4, Hosts: 4, HostParallelism: 8,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("multi-switch run %d diverged:\n  %#v\n  %#v", i, a, b)
+		}
+	}
+}

@@ -216,7 +216,8 @@ func build(cfg Config) (*system, error) {
 	}
 
 	// Page moves invalidate cached row vectors on every buffered switch and
-	// block the page for the migration window.
+	// block the page for the migration window. Invalidation is one
+	// range-granular call per cache, not a loop over the page's rows.
 	s.pageBlockedUntil = make([]sim.Tick, s.mgr.Pages())
 	blockNS := sim.Tick(tier.CacheLineBlockStallNS)
 	if cfg.PageBlockMigration {
@@ -232,14 +233,12 @@ func build(cfg Config) (*system, error) {
 		if int64(end) > footprint {
 			end = uint64(footprint)
 		}
-		for a := start; a < end; a += uint64(s.vecBytes) {
-			for _, sw := range s.switches {
-				sw.InvalidateBuffer(a)
-			}
-			for _, h := range s.hosts {
-				if h.dimmCache != nil {
-					h.dimmCache.Invalidate(a)
-				}
+		for _, sw := range s.switches {
+			sw.InvalidateBufferRange(start, end)
+		}
+		for _, h := range s.hosts {
+			if h.dimmCache != nil {
+				h.dimmCache.InvalidateRange(start, end)
 			}
 		}
 	})

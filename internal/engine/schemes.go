@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"pifsrec/internal/dram"
 	"pifsrec/internal/fabric"
@@ -139,6 +140,18 @@ func (s *system) execBag(h *host, tag uint8, cacheHits int, local []uint64,
 	}
 }
 
+// sortedSwitches returns the map's switch indices in ascending order. Map
+// iteration order is randomized per run; fanning link sends out in a stable
+// order keeps multi-switch simulations bit-reproducible.
+func sortedSwitches(bySwitch map[int][]uint64) []int {
+	keys := make([]int, 0, len(bySwitch))
+	for swIdx := range bySwitch {
+		keys = append(keys, swIdx)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 // localSLS reads row vectors from the host's own DIMMs; the host folds them
 // into the partial sum at core speed (negligible next to DRAM service).
 // Under RecNMP the controller is the widened rank-parallel NMP organization.
@@ -164,9 +177,9 @@ func (s *system) localSLS(h *host, addrs []uint64, done func(at sim.Tick)) {
 // The up-link occupancy per row is what the in-switch schemes eliminate.
 func (s *system) hostSideRemote(h *host, bySwitch map[int][]uint64, total int, done func(at sim.Tick)) {
 	j := newJoin(total, done)
-	for swIdx, addrs := range bySwitch {
+	for _, swIdx := range sortedSwitches(bySwitch) {
 		sw := s.switches[swIdx]
-		for _, addr := range addrs {
+		for _, addr := range bySwitch[swIdx] {
 			addr := addr
 			h.link.Down.Send(isa.SlotBytes, func(sim.Tick) {
 				sw.BypassRead(addr, s.vecBytes, func(sim.Tick) {
@@ -198,13 +211,13 @@ func (s *system) inSwitchRemote(h *host, tag uint8, bySwitch map[int][]uint64, d
 		sub   pifs.ClusterKey
 	}
 	var peers []peerBatch
-	for swIdx, addrs := range bySwitch {
+	for _, swIdx := range sortedSwitches(bySwitch) {
 		if swIdx == primaryIdx {
 			continue
 		}
 		peers = append(peers, peerBatch{
 			sw:    s.switches[swIdx],
-			addrs: addrs,
+			addrs: bySwitch[swIdx],
 			// Sub-cluster identity: high bit set, host and peer switch
 			// packed into the 12-bit port-id space.
 			sub: pifs.ClusterKey{SPID: 0x800 | h.spid<<5 | uint16(swIdx), SumTag: tag},

@@ -264,6 +264,16 @@ func (s *Switch) InvalidateBuffer(addr uint64) {
 	}
 }
 
+// InvalidateBufferRange drops every buffered row vector in [start, end) —
+// the migration hook's single range-granular call replacing a per-row loop.
+// It returns the number of vectors dropped; no-op without a buffer.
+func (s *Switch) InvalidateBufferRange(start, end uint64) int {
+	if s.Buffer == nil {
+		return 0
+	}
+	return s.Buffer.InvalidateRange(start, end)
+}
+
 // ForwardFetch executes a row fetch on a peer switch close to the data
 // (§IV-C1): the instruction crosses the inter-switch link, the peer fetches
 // from its local device — using its own core and buffer when present

@@ -90,27 +90,30 @@ func Fig5() *report.Table {
 		{"(e) batch/interleave", numasim.BatchThreading, numasim.InterleaveCXL, numasim.CXLOnly},
 		{"(f) table/interleave", numasim.TableThreading, numasim.InterleaveCXL, numasim.CXLOnly},
 	}
-	for _, panel := range panels {
-		for _, dim := range []int{16, 32, 64, 128} {
-			cells := []any{panel.name, fmt.Sprintf("%dB", dim)}
-			for _, ts := range sizes {
-				w := numasim.DefaultWorkload(panel.threading, dim, ts)
-				base, err := numasim.Run(p, w, panel.baseline)
-				if err != nil {
-					panic(err)
-				}
-				r, err := numasim.Run(p, w, panel.place)
-				if err != nil {
-					panic(err)
-				}
-				norm := 0.0
-				if base.AppGBs > 0 {
-					norm = r.AppGBs / base.AppGBs
-				}
-				cells = append(cells, norm)
+	dims := []int{16, 32, 64, 128}
+	rows := mapIndexed(pool, len(panels)*len(dims), func(i int) []any {
+		panel, dim := panels[i/len(dims)], dims[i%len(dims)]
+		cells := []any{panel.name, fmt.Sprintf("%dB", dim)}
+		for _, ts := range sizes {
+			w := numasim.DefaultWorkload(panel.threading, dim, ts)
+			base, err := numasim.Run(p, w, panel.baseline)
+			if err != nil {
+				panic(err)
 			}
-			t.AddRow(cells...)
+			r, err := numasim.Run(p, w, panel.place)
+			if err != nil {
+				panic(err)
+			}
+			norm := 0.0
+			if base.AppGBs > 0 {
+				norm = r.AppGBs / base.AppGBs
+			}
+			cells = append(cells, norm)
 		}
+		return cells
+	})
+	for _, cells := range rows {
+		t.AddRow(cells...)
 	}
 	t.AddNote("(a)-(d) normalized to all-local; (e)-(f) normalized to CXL-only, per the paper's 9x claim")
 	return t
@@ -151,11 +154,20 @@ func Fig12a() *report.Table {
 		Header: []string{"model", "Pond", "Pond+PM", "BEACON", "RecNMP", "PIFS-Rec"},
 	}
 	var pondOverPIFS, beaconOverPIFS []float64
-	for _, m := range scaledModels() {
+	models := scaledModels()
+	schemes := engine.Schemes()
+	var cfgs []engine.Config
+	for _, m := range models {
 		tr := traceFor(trace.MetaLike, m, 2)
-		lat := make([]float64, 0, 5)
-		for _, s := range engine.Schemes() {
-			lat = append(lat, run(schemeConfig(s, m, tr)).NSPerBag)
+		for _, s := range schemes {
+			cfgs = append(cfgs, schemeConfig(s, m, tr))
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	for mi, m := range models {
+		lat := make([]float64, 0, len(schemes))
+		for si := range schemes {
+			lat = append(lat, results[mi*len(schemes)+si].NSPerBag)
 		}
 		norm := sim.MinMaxNormalize(lat)
 		t.AddRow(m.Name, norm[0], norm[1], norm[2], norm[3], norm[4])
@@ -175,11 +187,20 @@ func Fig12b() *report.Table {
 		Header: []string{"trace", "Pond", "Pond+PM", "BEACON", "RecNMP", "PIFS-Rec"},
 	}
 	m := scaledRMC4()
-	for _, kind := range trace.Kinds() {
+	kinds := trace.Kinds()
+	schemes := engine.Schemes()
+	var cfgs []engine.Config
+	for _, kind := range kinds {
 		tr := traceFor(kind, m, 2)
-		lat := make([]float64, 0, 5)
-		for _, s := range engine.Schemes() {
-			lat = append(lat, run(schemeConfig(s, m, tr)).NSPerBag)
+		for _, s := range schemes {
+			cfgs = append(cfgs, schemeConfig(s, m, tr))
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	for ki, kind := range kinds {
+		lat := make([]float64, 0, len(schemes))
+		for si := range schemes {
+			lat = append(lat, results[ki*len(schemes)+si].NSPerBag)
 		}
 		norm := sim.MinMaxNormalize(lat)
 		t.AddRow(string(kind), norm[0], norm[1], norm[2], norm[3], norm[4])
@@ -198,12 +219,20 @@ func Fig12c() *report.Table {
 	tr := traceFor(trace.MetaLike, m, 2)
 	var pifsFirst, pifsLast float64
 	counts := []int{2, 4, 8, 16}
+	schemes := engine.Schemes()
+	var cfgs []engine.Config
 	for _, n := range counts {
-		lat := make([]float64, 0, 5)
-		for _, s := range engine.Schemes() {
+		for _, s := range schemes {
 			cfg := schemeConfig(s, m, tr)
 			cfg.Devices = n
-			lat = append(lat, run(cfg).NSPerBag)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	for ni, n := range counts {
+		lat := make([]float64, 0, len(schemes))
+		for si := range schemes {
+			lat = append(lat, results[ni*len(schemes)+si].NSPerBag)
 		}
 		norm := sim.MinMaxNormalize(lat)
 		t.AddRow(fmt.Sprintf("X%d", n), norm[0], norm[1], norm[2], norm[3], norm[4])
@@ -234,11 +263,15 @@ func Fig12d() *report.Table {
 		label string
 		frac  float64
 	}{{"128GB", 0.0625}, {"X2", 0.125}, {"X4", 0.25}}
+	cfgs := make([]engine.Config, len(fractions))
+	for i, f := range fractions {
+		cfgs[i] = schemeConfig(engine.PIFSRec, m, tr)
+		cfgs[i].LocalFraction = f.frac
+	}
+	results := pool.RunConfigs(cfgs)
 	var base float64
-	for _, f := range fractions {
-		cfg := schemeConfig(engine.PIFSRec, m, tr)
-		cfg.LocalFraction = f.frac
-		r := run(cfg)
+	for i, f := range fractions {
+		r := results[i]
 		if base == 0 {
 			base = r.NSPerBag
 		}
@@ -254,19 +287,29 @@ func Fig12e() *report.Table {
 		Title:  "Fig 12(e): ablation (min-max normalized latency; lower is better)",
 		Header: []string{"model", "Baseline", "PC", "PC/OoO", "PC/OoO/PM", "PC/OoO/PM/OSB"},
 	}
-	for _, m := range scaledModels() {
+	steps := []func(*engine.Config){
+		func(c *engine.Config) { c.DisableOoO, c.DisablePM, c.DisableOSB = true, true, true },
+		func(c *engine.Config) { c.DisablePM, c.DisableOSB = true, true },
+		func(c *engine.Config) { c.DisableOSB = true },
+		func(c *engine.Config) {},
+	}
+	models := scaledModels()
+	perModel := 1 + len(steps)
+	var cfgs []engine.Config
+	for _, m := range models {
 		tr := traceFor(trace.MetaLike, m, 2)
-		lat := []float64{run(schemeConfig(engine.Pond, m, tr)).NSPerBag}
-		steps := []func(*engine.Config){
-			func(c *engine.Config) { c.DisableOoO, c.DisablePM, c.DisableOSB = true, true, true },
-			func(c *engine.Config) { c.DisablePM, c.DisableOSB = true, true },
-			func(c *engine.Config) { c.DisableOSB = true },
-			func(c *engine.Config) {},
-		}
+		cfgs = append(cfgs, schemeConfig(engine.Pond, m, tr))
 		for _, mutate := range steps {
 			cfg := schemeConfig(engine.PIFSRec, m, tr)
 			mutate(&cfg)
-			lat = append(lat, run(cfg).NSPerBag)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	for mi, m := range models {
+		lat := make([]float64, 0, perModel)
+		for si := 0; si < perModel; si++ {
+			lat = append(lat, results[mi*perModel+si].NSPerBag)
 		}
 		norm := sim.MinMaxNormalize(lat)
 		t.AddRow(m.Name, norm[0], norm[1], norm[2], norm[3], norm[4])
@@ -284,20 +327,24 @@ func Fig13a() *report.Table {
 	}
 	m := scaledRMC4()
 	tr := traceFor(trace.Zipfian, m, 3)
-	var lats []float64
-	var pageCost, lineCost []float64
 	thresholds := []float64{0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+	cfgs := make([]engine.Config, 0, 2*len(thresholds))
 	for _, thr := range thresholds {
 		cfg := schemeConfig(engine.PIFSRec, m, tr)
 		cfg.Devices = 8
 		cfg.EpochBags = 16 // more management rounds so spreading differences surface
 		cfg.MigrateThreshold = thr
-		r := run(cfg)
+		cfgs = append(cfgs, cfg)
+		cfg.PageBlockMigration = true
+		cfgs = append(cfgs, cfg)
+	}
+	results := pool.RunConfigs(cfgs)
+	var lats []float64
+	var pageCost, lineCost []float64
+	for i := range thresholds {
+		r, rp := results[2*i], results[2*i+1]
 		lats = append(lats, r.NSPerBag)
 		lineCost = append(lineCost, float64(r.MigrationStallNS)/float64(r.TotalNS))
-
-		cfg.PageBlockMigration = true
-		rp := run(cfg)
 		pageCost = append(pageCost, float64(rp.MigrationStallNS)/float64(rp.TotalNS))
 	}
 	lo := lats[0]
@@ -330,10 +377,10 @@ func Fig13b() *report.Table {
 	tr := traceFor(trace.Zipfian, m, 3)
 	before := schemeConfig(engine.Pond, m, tr)
 	before.Devices = 16
-	rb := run(before)
 	after := schemeConfig(engine.PIFSRec, m, tr)
 	after.Devices = 16
-	ra := run(after)
+	results := pool.RunConfigs([]engine.Config{before, after})
+	rb, ra := results[0], results[1]
 	// Relative frequencies scaled to 100 like the paper's y axis.
 	maxB, maxA := maxOf(rb.DeviceReads), maxOf(ra.DeviceReads)
 	for d := 0; d < 16; d++ {
@@ -357,17 +404,24 @@ func Fig13c() *report.Table {
 	counts := []int{1, 2, 4, 8, 16, 32}
 	// Columns are host-parallelism depths standing in for batch size.
 	depths := []int{4, 16, 48}
-	base := make([]float64, len(depths))
+	var cfgs []engine.Config
 	for _, n := range counts {
-		cells := []any{fmt.Sprintf("%dx", n)}
-		for di, depth := range depths {
+		for _, depth := range depths {
 			tr := traceFor(trace.MetaLike, m, 2)
 			cfg := schemeConfig(engine.PIFSRec, m, tr)
 			cfg.Switches = n
 			cfg.Devices = n // one local CXL memory per switch (§VI-C4)
 			cfg.Hosts = n   // and one host per switch
 			cfg.HostParallelism = depth
-			r := run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	base := make([]float64, len(depths))
+	for ni, n := range counts {
+		cells := []any{fmt.Sprintf("%dx", n)}
+		for di := range depths {
+			r := results[ni*len(depths)+di]
 			if base[di] == 0 {
 				base[di] = r.NSPerBag
 			}
@@ -388,17 +442,23 @@ func Fig13d() *report.Table {
 	m := scaledRMC4()
 	tr := traceFor(trace.MetaLike, m, 3)
 
+	thresholds := []float64{0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20}
 	tpp := schemeConfig(engine.PIFSRec, m, tr)
 	tpp.TPPPolicy = true
-	rt := run(tpp)
+	cfgs := []engine.Config{tpp}
+	for _, thr := range thresholds {
+		cfg := schemeConfig(engine.PIFSRec, m, tr)
+		cfg.ColdAgeThreshold = thr
+		cfgs = append(cfgs, cfg)
+	}
+	results := pool.RunConfigs(cfgs)
+	rt := results[0]
 	t.AddRow("TPP", 1.0, float64(rt.MigrationStallNS)/float64(rt.TotalNS))
 
 	best := ""
 	bestLat := rt.NSPerBag
-	for _, thr := range []float64{0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20} {
-		cfg := schemeConfig(engine.PIFSRec, m, tr)
-		cfg.ColdAgeThreshold = thr
-		r := run(cfg)
+	for i, thr := range thresholds {
+		r := results[i+1]
 		t.AddRow(fmt.Sprintf("%.0f%%", thr*100), r.NSPerBag/rt.NSPerBag,
 			float64(r.MigrationStallNS)/float64(r.TotalNS))
 		if r.NSPerBag < bestLat {
@@ -419,11 +479,13 @@ func Fig14() *report.Table {
 	}
 	// Host-side GFLOPs for non-SLS operators.
 	const hostGFLOPs = 2000.0
-	for _, m := range []dlrm.ModelConfig{dlrm.RMC1().Scaled(64), dlrm.RMC2().Scaled(64)} {
-		nonSLSNS := float64(m.MLPFlops()) / hostGFLOPs
-		for _, hosts := range []int{1, 2, 4, 8} {
-			cells := []any{m.Name, fmt.Sprintf("%dx", hosts)}
-			for _, depth := range []int{4, 16, 48} {
+	models := []dlrm.ModelConfig{dlrm.RMC1().Scaled(64), dlrm.RMC2().Scaled(64)}
+	hostCounts := []int{1, 2, 4, 8}
+	depths := []int{4, 16, 48}
+	var cfgs []engine.Config
+	for _, m := range models {
+		for _, hosts := range hostCounts {
+			for _, depth := range depths {
 				tr := traceFor(trace.MetaLike, m, 2)
 				pond := schemeConfig(engine.Pond, m, tr)
 				pond.Hosts = hosts
@@ -431,8 +493,19 @@ func Fig14() *report.Table {
 				pifs := schemeConfig(engine.PIFSRec, m, tr)
 				pifs.Hosts = hosts
 				pifs.HostParallelism = depth
-				rp := run(pond)
-				rf := run(pifs)
+				cfgs = append(cfgs, pond, pifs)
+			}
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	i := 0
+	for _, m := range models {
+		nonSLSNS := float64(m.MLPFlops()) / hostGFLOPs
+		for _, hosts := range hostCounts {
+			cells := []any{m.Name, fmt.Sprintf("%dx", hosts)}
+			for range depths {
+				rp, rf := results[i], results[i+1]
+				i += 2
 				// End-to-end time per query = SLS (per bag x tables) + MLPs.
 				slsP := rp.NSPerBag * float64(m.Tables)
 				slsF := rf.NSPerBag * float64(m.Tables)
@@ -456,16 +529,24 @@ func Fig15() *report.Table {
 	tr := traceFor(trace.MetaLike, m, 2)
 	noBuf := schemeConfig(engine.PIFSRec, m, tr)
 	noBuf.DisableOSB = true
-	base := run(noBuf).NSPerBag
-
-	for _, size := range []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
-		cells := []any{fmt.Sprintf("%dKB", size>>10)}
-		var htrHit float64
-		for _, pol := range []osb.Policy{osb.HTR, osb.LRU, osb.FIFO} {
+	sizes := []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	policies := []osb.Policy{osb.HTR, osb.LRU, osb.FIFO}
+	cfgs := []engine.Config{noBuf}
+	for _, size := range sizes {
+		for _, pol := range policies {
 			cfg := schemeConfig(engine.PIFSRec, m, tr)
 			cfg.BufferBytes = size
 			cfg.BufferPolicy = pol
-			r := run(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	base := results[0].NSPerBag
+	for si, size := range sizes {
+		cells := []any{fmt.Sprintf("%dKB", size>>10)}
+		var htrHit float64
+		for pi, pol := range policies {
+			r := results[1+si*len(policies)+pi]
 			cells = append(cells, 100*(base/r.NSPerBag-1))
 			if pol == osb.HTR {
 				htrHit = 100 * r.BufferHitRatio

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pifsrec/internal/engine"
+)
+
+// Runner fans independent simulation jobs across a bounded worker pool.
+// Every simulation owns a private sim.Engine, tier.Manager, and model state,
+// so FigNN sweeps are shared-nothing: the pool parallelizes across
+// configurations, never within one. Results are always delivered in
+// submission order, so a sweep's output is byte-identical whether it ran on
+// one worker or many.
+type Runner struct {
+	workers int
+}
+
+// NewRunner builds a pool of the given width; workers <= 0 selects
+// GOMAXPROCS. A width of 1 degenerates to inline serial execution (no
+// goroutines), which the determinism tests use as the reference.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers returns the pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// Do executes fn(i) for every i in [0, n) across the pool and blocks until
+// all complete. Jobs are claimed from a shared counter, so scheduling order
+// is nondeterministic but callers index their own result slots. A panic in
+// any job is re-raised on the caller after the pool drains.
+func (r *Runner) Do(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = p
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// RunConfigs simulates every config and returns the results in input order,
+// panicking on configuration errors exactly like the serial run helper.
+func (r *Runner) RunConfigs(cfgs []engine.Config) []engine.Result {
+	return mapIndexed(r, len(cfgs), func(i int) engine.Result {
+		return run(cfgs[i])
+	})
+}
+
+// mapIndexed runs fn across the pool and collects results by index.
+func mapIndexed[T any](r *Runner, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	r.Do(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// pool is the package's default runner, used by every FigNN sweep.
+// SetParallelism replaces it; the default is one worker per CPU.
+var pool = NewRunner(0)
+
+// SetParallelism resizes the default pool used by the figure sweeps;
+// n <= 0 restores the GOMAXPROCS default. It returns the previous width.
+// Figures produce byte-identical tables at any width — this exists for
+// benchmarking the sweep speedup and for pinning the serial reference in
+// tests.
+func SetParallelism(n int) int {
+	prev := pool.workers
+	pool = NewRunner(n)
+	return prev
+}

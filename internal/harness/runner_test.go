@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"pifsrec/internal/engine"
+	"pifsrec/internal/trace"
+)
+
+func TestRunnerDoCoversAllJobs(t *testing.T) {
+	r := NewRunner(4)
+	if r.Workers() != 4 {
+		t.Fatalf("Workers = %d, want 4", r.Workers())
+	}
+	var hits [100]atomic.Int32
+	r.Do(len(hits), func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+	r.Do(0, func(int) { t.Fatal("job ran for n=0") })
+}
+
+func TestRunnerDoPropagatesPanic(t *testing.T) {
+	r := NewRunner(3)
+	boom := errors.New("boom")
+	defer func() {
+		if p := recover(); p != boom {
+			t.Fatalf("recovered %v, want %v", p, boom)
+		}
+	}()
+	r.Do(8, func(i int) {
+		if i == 5 {
+			panic(boom)
+		}
+	})
+}
+
+func TestRunConfigsOrdered(t *testing.T) {
+	m := scaledRMC4()
+	tr := traceFor(trace.MetaLike, m, 1)
+	var cfgs []engine.Config
+	for _, s := range engine.Schemes() {
+		cfgs = append(cfgs, schemeConfig(s, m, tr))
+	}
+	serial := NewRunner(1).RunConfigs(cfgs)
+	parallel := NewRunner(4).RunConfigs(cfgs)
+	for i := range cfgs {
+		if serial[i].Scheme != cfgs[i].Scheme || parallel[i].Scheme != cfgs[i].Scheme {
+			t.Fatalf("result %d out of order: serial=%s parallel=%s want %s",
+				i, serial[i].Scheme, parallel[i].Scheme, cfgs[i].Scheme)
+		}
+		if serial[i].TotalNS != parallel[i].TotalNS || serial[i].NSPerBag != parallel[i].NSPerBag {
+			t.Fatalf("result %d differs between serial and parallel pools", i)
+		}
+	}
+}
+
+// TestFiguresByteIdenticalAcrossPoolWidths renders representative converted
+// sweeps with a serial pool and a wide pool and requires byte-identical
+// tables — the harness's core determinism guarantee.
+func TestFiguresByteIdenticalAcrossPoolWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-figure sweep in -short mode")
+	}
+	render := func(id string) []byte {
+		var buf bytes.Buffer
+		if err := Run(id, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, id := range []string{"fig12b", "fig12d", "fig13d"} {
+		prev := SetParallelism(1)
+		serial := render(id)
+		SetParallelism(8)
+		wide := render(id)
+		SetParallelism(prev)
+		if !bytes.Equal(serial, wide) {
+			t.Errorf("%s: output differs between 1-worker and 8-worker pools", id)
+		}
+	}
+}

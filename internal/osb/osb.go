@@ -231,6 +231,44 @@ func (b *Buffer) Invalidate(addr uint64) bool {
 	return true
 }
 
+// InvalidateRange drops every cached vector whose base address lies in
+// [start, end) — one page-migration invalidation instead of a per-row loop.
+// It returns the number of entries dropped. Victims are removed in ascending
+// address order so the eviction heap's internal layout (and therefore future
+// tie-breaking) stays deterministic.
+func (b *Buffer) InvalidateRange(start, end uint64) int {
+	if len(b.entries) == 0 || start >= end {
+		return 0
+	}
+	var victims []uint64
+	for addr := range b.entries {
+		if addr >= start && addr < end {
+			victims = append(victims, addr)
+		}
+	}
+	if len(victims) == 0 {
+		return 0
+	}
+	sortAddrs(victims)
+	for _, addr := range victims {
+		e := b.entries[addr]
+		heap.Remove(&b.order, e.heap)
+		delete(b.entries, addr)
+		b.used -= e.size
+	}
+	return len(victims)
+}
+
+// sortAddrs is an insertion sort: victim sets are tiny (one page of rows at
+// most), where it beats sort.Slice's interface overhead.
+func sortAddrs(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 // Profiler exposes the address profiler (the FM endpoint extension owns it
 // in hardware; page management reads the same counters).
 func (b *Buffer) Profiler() *Profiler { return b.profiler }

@@ -8,10 +8,20 @@
 // timestamps are int64 nanoseconds ("ticks") since simulation start, and
 // component models convert their internal clock domains (e.g. DRAM tCK in
 // picoseconds) into ticks when they schedule events.
+//
+// # Kernel organization
+//
+// The queue is a hybrid calendar/bucket queue: a ring of per-tick buckets
+// covers the near future (now .. now+ringHorizon), and a binary min-heap
+// keyed by (time, seq) holds far-future events. Events live in a pooled
+// arena of value-typed nodes with free-list recycling, so steady-state
+// scheduling performs no heap allocation: At/After, firing, and Cancel all
+// reuse arena slots. Events with equal timestamps fire in the order they
+// were scheduled (FIFO within a tick) regardless of which structure holds
+// them, which keeps runs deterministic.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -19,68 +29,103 @@ import (
 // Tick is a simulation timestamp in nanoseconds.
 type Tick = int64
 
-// Event is a scheduled callback. Events with equal timestamps fire in the
-// order they were scheduled (FIFO within a tick), which keeps runs
-// deterministic regardless of heap internals.
-type Event struct {
-	At   Tick
-	Fn   func()
+// MaxTick is the largest representable simulation time.
+const MaxTick Tick = math.MaxInt64
+
+// ringHorizon is the span of the near-future bucket ring in ticks. Delays
+// shorter than this (DRAM service, link crossings, migration stalls) enjoy
+// O(1) scheduling; longer ones fall back to the min-heap. Must be a power
+// of two.
+const ringHorizon Tick = 4096
+
+const ringMask = ringHorizon - 1
+
+// node states.
+const (
+	stateFired     uint8 = iota // fired; slot on the free list
+	stateCancelled              // removed before firing; slot on the free list
+	stateRing                   // linked into a near-future bucket
+	stateHeap                   // resident in the far-future heap
+)
+
+// node is one arena slot. Nodes are referenced by index, never by pointer,
+// so the arena can grow (and the engine can recycle slots) freely.
+type node struct {
+	at   Tick
 	seq  uint64
-	heap int // index in the heap, -1 when popped/cancelled
+	fn   func()
+	prev int32 // bucket list links (stateRing)
+	next int32
+	pos  int32  // heap index (stateHeap)
+	gen  uint32 // bumped on slot reuse; stale Event handles mismatch
+	sta  uint8
 }
 
-// Cancelled reports whether the event was removed before firing.
-func (e *Event) Cancelled() bool { return e.heap == -2 }
+// heapEntry mirrors a node in the far-future heap; ordering is (at, seq).
+type heapEntry struct {
+	at  Tick
+	seq uint64
+	id  int32
+}
 
-type eventHeap []*Event
+// Event is a handle to a scheduled callback, valid for Cancel until the
+// event fires. The zero Event is inert: cancelling it is a no-op.
+type Event struct {
+	eng *Engine
+	id  int32
+	gen uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// Cancelled reports whether the event was removed before firing. The answer
+// is precise until the engine recycles the underlying slot for a later
+// At/After, after which it reports false.
+func (ev Event) Cancelled() bool {
+	if ev.eng == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heap = i
-	h[j].heap = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.heap = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.heap = -1
-	*h = old[:n-1]
-	return e
+	n := &ev.eng.arena[ev.id]
+	return n.gen == ev.gen && n.sta == stateCancelled
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // not usable; construct with NewEngine.
 type Engine struct {
-	now    Tick
-	queue  eventHeap
-	nextID uint64
-	fired  uint64
-	limit  uint64 // safety valve against runaway simulations; 0 = unlimited
+	now     Tick
+	nextSeq uint64
+	fired   uint64
+	limit   uint64 // safety valve against runaway simulations; 0 = unlimited
+
+	arena []node
+	free  []int32
+
+	// Near-future calendar ring: heads/tails index bucket lists in the
+	// arena; every resident event has now <= at < now+ringHorizon, so each
+	// bucket holds at most one tick's events, appended in seq order.
+	heads     []int32
+	tails     []int32
+	ringCount int
+
+	heap []heapEntry
 }
 
 // NewEngine returns an empty engine positioned at tick zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{
+		heads: make([]int32, ringHorizon),
+		tails: make([]int32, ringHorizon),
+	}
+	for i := range e.heads {
+		e.heads[i] = -1
+		e.tails[i] = -1
+	}
+	return e
 }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Tick { return e.now }
 
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.ringCount + len(e.heap) }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -89,52 +134,157 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // engine will fire; Run panics past the limit. Zero disables the limit.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
+// alloc returns a recycled (or freshly grown) arena slot.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.arena[id].gen++
+		return id
+	}
+	e.arena = append(e.arena, node{})
+	return int32(len(e.arena) - 1)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently clamping would hide it.
-func (e *Engine) At(t Tick, fn func()) *Event {
+func (e *Engine) At(t Tick, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at t=%d before now=%d", t, e.now))
 	}
-	ev := &Event{At: t, Fn: fn, seq: e.nextID}
-	e.nextID++
-	heap.Push(&e.queue, ev)
-	return ev
+	id := e.alloc()
+	n := &e.arena[id]
+	n.at = t
+	n.seq = e.nextSeq
+	n.fn = fn
+	e.nextSeq++
+	if t-e.now < ringHorizon {
+		slot := int(t & ringMask)
+		n.sta = stateRing
+		n.next = -1
+		n.prev = e.tails[slot]
+		if n.prev >= 0 {
+			e.arena[n.prev].next = id
+		} else {
+			e.heads[slot] = id
+		}
+		e.tails[slot] = id
+		e.ringCount++
+	} else {
+		n.sta = stateHeap
+		e.heapPush(heapEntry{at: t, seq: n.seq, id: id})
+	}
+	return Event{eng: e, id: id, gen: n.gen}
 }
 
 // After schedules fn to run d ticks from now.
-func (e *Engine) After(d Tick, fn func()) *Event {
+func (e *Engine) After(d Tick, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.heap < 0 {
+// Cancel removes a scheduled event. Cancelling an already-fired,
+// already-cancelled, or zero event is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if ev.eng != e || ev.eng == nil {
 		return
 	}
-	heap.Remove(&e.queue, ev.heap)
-	ev.heap = -2
+	n := &e.arena[ev.id]
+	if n.gen != ev.gen {
+		return
+	}
+	switch n.sta {
+	case stateRing:
+		e.unlink(ev.id, n)
+	case stateHeap:
+		e.heapRemove(n.pos)
+	default:
+		return
+	}
+	n.fn = nil
+	n.sta = stateCancelled
+	e.free = append(e.free, ev.id)
+}
+
+// unlink removes a ring-resident node from its bucket list.
+func (e *Engine) unlink(id int32, n *node) {
+	slot := int(n.at & ringMask)
+	if n.prev >= 0 {
+		e.arena[n.prev].next = n.next
+	} else {
+		e.heads[slot] = n.next
+	}
+	if n.next >= 0 {
+		e.arena[n.next].prev = n.prev
+	} else {
+		e.tails[slot] = n.prev
+	}
+	e.ringCount--
+}
+
+// findNext locates the earliest scheduled event by (time, seq) without
+// removing it. The bucket scan starts at now; the invariant that every ring
+// event lies within [now, now+ringHorizon) makes each bucket hold a single
+// tick, so the first nonempty bucket's head is the earliest ring event.
+func (e *Engine) findNext() (int32, bool) {
+	hTime := MaxTick
+	if len(e.heap) > 0 {
+		hTime = e.heap[0].at
+	}
+	if e.ringCount > 0 {
+		end := e.now + ringHorizon // no overflow: now stays far below MaxTick-horizon while events pend
+		if hTime < end-1 {
+			end = hTime + 1
+		}
+		for t := e.now; t < end; t++ {
+			if h := e.heads[int(t&ringMask)]; h >= 0 {
+				if t == hTime && e.heap[0].seq < e.arena[h].seq {
+					return e.heap[0].id, true
+				}
+				return h, true
+			}
+		}
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].id, true
+	}
+	return -1, false
+}
+
+// fire removes node id from its structure, advances the clock, and runs the
+// callback.
+func (e *Engine) fire(id int32) {
+	n := &e.arena[id]
+	if n.at < e.now {
+		panic("sim: event queue went backwards")
+	}
+	if n.sta == stateRing {
+		e.unlink(id, n)
+	} else {
+		e.heapRemove(n.pos)
+	}
+	e.now = n.at
+	e.fired++
+	if e.limit != 0 && e.fired > e.limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.limit, e.now))
+	}
+	fn := n.fn
+	n.fn = nil
+	n.sta = stateFired
+	e.free = append(e.free, id)
+	fn()
 }
 
 // Step fires the single earliest event. It reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	id, ok := e.findNext()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.At < e.now {
-		panic("sim: event queue went backwards")
-	}
-	e.now = ev.At
-	e.fired++
-	if e.limit != 0 && e.fired > e.limit {
-		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.limit, e.now))
-	}
-	ev.Fn()
+	e.fire(id)
 	return true
 }
 
@@ -149,8 +299,12 @@ func (e *Engine) Run() Tick {
 // deadline, and returns the number of events fired.
 func (e *Engine) RunUntil(deadline Tick) int {
 	n := 0
-	for len(e.queue) > 0 && e.queue[0].At <= deadline {
-		e.Step()
+	for {
+		id, ok := e.findNext()
+		if !ok || e.arena[id].at > deadline {
+			break
+		}
+		e.fire(id)
 		n++
 	}
 	if e.now < deadline {
@@ -159,5 +313,64 @@ func (e *Engine) RunUntil(deadline Tick) int {
 	return n
 }
 
-// MaxTick is the largest representable simulation time.
-const MaxTick Tick = math.MaxInt64
+// heapLess orders far-future entries by (time, seq).
+func heapLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(en heapEntry) {
+	e.heap = append(e.heap, en)
+	e.arena[en.id].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapRemove deletes the entry at index i, preserving heap order.
+func (e *Engine) heapRemove(i int32) {
+	last := len(e.heap) - 1
+	if int(i) != last {
+		e.heap[i] = e.heap[last]
+		e.arena[e.heap[i].id].pos = i
+	}
+	e.heap = e.heap[:last]
+	if int(i) < last {
+		e.siftDown(int(i))
+		e.siftUp(int(i))
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		e.arena[e.heap[i].id].pos = int32(i)
+		e.arena[e.heap[parent].id].pos = int32(parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && heapLess(e.heap[right], e.heap[left]) {
+			least = right
+		}
+		if !heapLess(e.heap[least], e.heap[i]) {
+			return
+		}
+		e.heap[i], e.heap[least] = e.heap[least], e.heap[i]
+		e.arena[e.heap[i].id].pos = int32(i)
+		e.arena[e.heap[least].id].pos = int32(least)
+		i = least
+	}
+}

@@ -90,15 +90,15 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Cancelling twice or cancelling nil must be safe.
+	// Cancelling twice or cancelling the zero Event must be safe.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestEngineCancelMiddleOfQueue(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.At(Tick(i*10), func() { got = append(got, i) })
