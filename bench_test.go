@@ -294,6 +294,68 @@ func BenchmarkDRAMRandom(b *testing.B) {
 	}
 }
 
+// BenchmarkDRAMRequestPath measures the steady-state batched request path:
+// one SubmitBatch per iteration (an SLS bag's worth of scattered row
+// vectors) driven to completion. Allocs/op must be 0 once the arenas are
+// warm — requests, batch slots, queue rings, and engine events all recycle.
+func BenchmarkDRAMRequestPath(b *testing.B) {
+	geo := Table2Geometry2ch()
+	eng := sim.NewEngine()
+	c := dram.NewController(eng, geo, dram.DDR5_4800())
+	rng := sim.NewRNG(5)
+	const rows = 32
+	const vecBytes = 512
+	addrs := make([]uint64, rows)
+	for i := range addrs {
+		addrs[i] = (rng.Uint64() % uint64(geo.Capacity()-vecBytes)) &^ 63
+	}
+	done := func(sim.Tick) {}
+	c.SubmitBatch(addrs, vecBytes, false, 0, done) // warm the arenas
+	eng.Run()
+	b.ReportAllocs()
+	b.SetBytes(rows * vecBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SubmitBatch(addrs, vecBytes, false, 0, done)
+		eng.Run()
+	}
+}
+
+// Table2Geometry2ch narrows the Table II device so the request-path bench
+// keeps its channels under sustained pressure.
+func Table2Geometry2ch() dram.Geometry {
+	g := dram.Table2Geometry()
+	g.Channels = 2
+	return g
+}
+
+// BenchmarkDRAMDeepQueue drains one channel with thousands of queued
+// requests: the regime where the old slice-based queue paid an O(n) tail
+// copy per issued command and the ring queue pays a bounded shift.
+func BenchmarkDRAMDeepQueue(b *testing.B) {
+	geo := dram.Table2Geometry()
+	geo.Channels = 1
+	rng := sim.NewRNG(6)
+	const n = 4096
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = (rng.Uint64() % uint64(geo.Capacity())) &^ 63
+	}
+	done := func(sim.Tick) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := sim.NewEngine()
+		c := dram.NewController(eng, geo, dram.DDR4_3200())
+		b.StartTimer()
+		for _, a := range addrs {
+			c.Submit(&dram.Request{Addr: a, Done: done})
+		}
+		eng.Run()
+	}
+}
+
 func BenchmarkISAEncodeDecode(b *testing.B) {
 	in, err := isa.NewDataFetch(7, 0x1000, 3, 12, 64, 1.5)
 	if err != nil {

@@ -71,6 +71,7 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("host link: %d B down, %d B up\n", res.HostLinkDownBytes, res.HostLinkUpBytes)
 	fmt.Printf("local DRAM reads: %d; device reads: %v\n", res.LocalDRAMReads, res.DeviceReads)
+	fmt.Printf("mean DRAM queue delay: %.1f ns\n", res.MeanQueueDelayNS)
 	fmt.Printf("buffer hit ratio: %.1f%%; pages migrated: %d; migration stall: %d ns\n",
 		100*res.BufferHitRatio, res.PagesMigrated, res.MigrationStallNS)
 	fmt.Printf("device access balance: mean %.0f, std %.0f\n", res.DeviceAccessMean, res.DeviceAccessStd)

@@ -12,8 +12,6 @@ import (
 // as multiple line accesses by callers. The device adds the CXL controller's
 // share of the access penalty on top of raw DRAM service time.
 type Type3Device struct {
-	eng *sim.Engine
-
 	// ID is the device index within its pool; PortID is the fabric port the
 	// device is bound to (its cacheID when recognized by the FM endpoint).
 	ID     int
@@ -53,7 +51,6 @@ func NewType3(eng *sim.Engine, cfg DeviceConfig) *Type3Device {
 		ctrl = AccessPenaltyNS / 2
 	}
 	return &Type3Device{
-		eng:    eng,
 		ID:     cfg.ID,
 		PortID: cfg.PortID,
 		ctl:    dram.NewController(eng, cfg.Geometry, cfg.Timing),
@@ -71,50 +68,35 @@ func (d *Type3Device) Stats() DeviceStats { return d.stats }
 func (d *Type3Device) DRAMStats() dram.Stats { return d.ctl.Stats() }
 
 // Access performs one 64 B access at device-local address addr and calls
-// done when the data is available at the device's CXL port.
+// done when the data is available at the device's CXL port. The controller
+// overhead is folded into the batched completion, so the whole access costs
+// one engine event.
 func (d *Type3Device) Access(addr uint64, write bool, done func(at sim.Tick)) {
-	if done == nil {
-		panic("cxl: device access without completion callback")
-	}
-	if addr >= uint64(d.Capacity()) {
-		panic(fmt.Sprintf("cxl: device %d access at %#x beyond capacity %#x", d.ID, addr, d.Capacity()))
-	}
-	if write {
-		d.stats.Writes++
-	} else {
-		d.stats.Reads++
-	}
-	ctrl := d.ctrlNS
-	d.ctl.Submit(&dram.Request{
-		Addr:    addr,
-		IsWrite: write,
-		Done: func(at sim.Tick) {
-			d.eng.At(at+ctrl, func() { done(at + ctrl) })
-		},
-	})
+	d.AccessVector(addr, 64, write, done)
 }
 
 // AccessVector performs a vecBytes-long row-vector access starting at addr,
-// split into 64 B line requests, and calls done when the last line is out of
-// the controller.
+// split into 64 B line requests submitted as ONE controller batch: a single
+// completion counter tracks the lines and done fires once, a controller
+// overhead after the last line's data beat — no per-line Done chains or
+// intermediate events.
 func (d *Type3Device) AccessVector(addr uint64, vecBytes int, write bool, done func(at sim.Tick)) {
+	if done == nil {
+		panic("cxl: device access without completion callback")
+	}
 	if vecBytes <= 0 || vecBytes%64 != 0 {
 		panic(fmt.Sprintf("cxl: vector size %d not a positive multiple of 64", vecBytes))
 	}
-	lines := vecBytes / 64
-	remaining := lines
-	var last sim.Tick
-	for i := 0; i < lines; i++ {
-		d.Access(addr+uint64(i*64), write, func(at sim.Tick) {
-			if at > last {
-				last = at
-			}
-			remaining--
-			if remaining == 0 {
-				done(last)
-			}
-		})
+	if end := addr + uint64(vecBytes); end > uint64(d.Capacity()) || end < addr {
+		panic(fmt.Sprintf("cxl: device %d access [%#x, %#x) beyond capacity %#x", d.ID, addr, end, d.Capacity()))
 	}
+	lines := int64(vecBytes / 64)
+	if write {
+		d.stats.Writes += lines
+	} else {
+		d.stats.Reads += lines
+	}
+	d.ctl.SubmitRange(addr, vecBytes, write, d.ctrlNS, done)
 }
 
 // String describes the device.

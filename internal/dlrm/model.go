@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pifsrec/internal/sim"
+	"pifsrec/internal/vecmath"
 )
 
 // EmbeddingTable holds fp32 row vectors. Rows are stored contiguously so a
@@ -45,18 +46,15 @@ func (t *EmbeddingTable) SLS(indices []uint32, weights []float32, out []float32)
 	if weights != nil && len(weights) != len(indices) {
 		panic(fmt.Sprintf("dlrm: %d weights for %d indices", len(weights), len(indices)))
 	}
-	for i := range out {
-		out[i] = 0
+	vecmath.Zero(out)
+	if weights == nil {
+		for _, ix := range indices {
+			vecmath.Add(t.Row(ix), out)
+		}
+		return
 	}
 	for k, ix := range indices {
-		row := t.Row(ix)
-		w := float32(1)
-		if weights != nil {
-			w = weights[k]
-		}
-		for i, v := range row {
-			out[i] += w * v
-		}
+		vecmath.Axpy(weights[k], t.Row(ix), out)
 	}
 }
 
@@ -114,19 +112,11 @@ func (m *MLP) Forward(x []float32) []float32 {
 		}
 		next := m.scratch[l&1][:out]
 		for o := 0; o < out; o++ {
-			acc := b[o]
-			row := w[o*in : (o+1)*in]
-			for i, v := range cur {
-				acc += row[i] * v
-			}
-			next[o] = acc
+			// vecmath's fixed 4-lane reduction order; see that package's doc.
+			next[o] = vecmath.DotBias(b[o], w[o*in:(o+1)*in], cur)
 		}
 		if l != len(m.weights)-1 {
-			for i, v := range next {
-				if v < 0 {
-					next[i] = 0
-				}
-			}
+			vecmath.ReLU(next)
 		}
 		cur = next
 	}
@@ -183,9 +173,7 @@ func (m *Model) Interact(bottomOut []float32, pooled [][]float32) []float32 {
 		m.proj = make([]float32, d)
 	}
 	proj := m.proj[:d]
-	for i := range proj {
-		proj[i] = 0
-	}
+	vecmath.Zero(proj)
 	copy(proj, bottomOut)
 
 	vecs := append(m.vecs[:0], proj)
@@ -199,11 +187,7 @@ func (m *Model) Interact(bottomOut []float32, pooled [][]float32) []float32 {
 	out = append(out, bottomOut...)
 	for i := 0; i < len(vecs); i++ {
 		for j := i + 1; j < len(vecs); j++ {
-			var dot float32
-			for k := 0; k < d; k++ {
-				dot += vecs[i][k] * vecs[j][k]
-			}
-			out = append(out, dot)
+			out = append(out, vecmath.Dot(vecs[i][:d], vecs[j][:d]))
 		}
 	}
 	m.interOut = out

@@ -6,15 +6,25 @@ import (
 	"pifsrec/internal/sim"
 )
 
-// Request is one 64 B access submitted to a Controller. Done fires exactly
-// once when the last data beat leaves (read) or is written into the array
-// (write), with the completion time.
+// Request is one 64 B access submitted to a Controller via Submit. Done
+// fires exactly once when the last data beat leaves (read) or is written
+// into the array (write), with the completion time. Submit copies the
+// request into the controller's pooled arena; the struct is not retained.
 type Request struct {
 	Addr    uint64
 	IsWrite bool
 	Done    func(at sim.Tick)
+}
 
+// request is one arena-resident line access. Requests are value-typed and
+// referenced by index: the per-channel queues hold ids, and slots recycle
+// through a free list the moment the line's column command issues, so the
+// submit→complete path performs no heap allocation in steady state.
+type request struct {
+	addr   uint64
+	write  bool
 	submit sim.Tick
+	batch  int32
 	loc    Loc
 }
 
@@ -30,6 +40,17 @@ type Stats struct {
 	QueueDelay int64
 }
 
+// MeanQueueDelayNS returns the mean per-request queueing delay in
+// nanoseconds (time from submit to column-command issue), or 0 when no
+// requests completed.
+func (s Stats) MeanQueueDelayNS() float64 {
+	n := s.Reads + s.Writes
+	if n == 0 {
+		return 0
+	}
+	return float64(s.QueueDelay) / float64(n)
+}
+
 // Controller models one memory node: a set of channels, each with its own
 // bank array and FR-FCFS scheduler. It is not safe for concurrent use; all
 // interaction happens on the simulation goroutine.
@@ -39,6 +60,12 @@ type Controller struct {
 	tim   Timing
 	chans []*channel
 	stats Stats
+
+	// Pooled request arena plus batch slots; both recycle via free lists.
+	reqs        []request
+	freeReqs    []int32
+	batches     []batchState
+	freeBatches []int32
 }
 
 // NewController builds a controller. It panics on invalid configuration:
@@ -68,14 +95,50 @@ func (c *Controller) Timing() Timing { return c.tim }
 // Stats returns a snapshot of accumulated statistics.
 func (c *Controller) Stats() Stats { return c.stats }
 
-// Submit queues a request. The request's Done callback is required.
+// Submit queues a single line request. The request's Done callback is
+// required. Internally this is a batch of one line, so single and batched
+// submissions share one code path and completion times are identical.
 func (c *Controller) Submit(r *Request) {
 	if r.Done == nil {
 		panic("dram: request without Done callback")
 	}
-	r.submit = c.eng.Now()
-	r.loc = c.geo.Map(r.Addr)
-	c.chans[r.loc.Channel].enqueue(r)
+	batch := c.allocBatch(1, 0, r.Done)
+	c.enqueueLine(r.Addr, r.IsWrite, batch)
+}
+
+// allocReq returns a recycled (or freshly grown) request arena slot.
+func (c *Controller) allocReq() int32 {
+	if n := len(c.freeReqs); n > 0 {
+		id := c.freeReqs[n-1]
+		c.freeReqs = c.freeReqs[:n-1]
+		return id
+	}
+	c.reqs = append(c.reqs, request{})
+	return int32(len(c.reqs) - 1)
+}
+
+// ArenaSize returns the request arena capacity (for reuse/leak tests).
+func (c *Controller) ArenaSize() int { return len(c.reqs) }
+
+// QueuedRequests returns the number of lines waiting in channel queues.
+func (c *Controller) QueuedRequests() int {
+	n := 0
+	for _, ch := range c.chans {
+		n += ch.q.n
+	}
+	return n
+}
+
+// enqueueLine places one line request of a batch into its channel's queue.
+func (c *Controller) enqueueLine(addr uint64, write bool, batch int32) {
+	id := c.allocReq()
+	rq := &c.reqs[id]
+	rq.addr = addr
+	rq.write = write
+	rq.submit = c.eng.Now()
+	rq.batch = batch
+	rq.loc = c.geo.Map(addr)
+	c.chans[rq.loc.Channel].enqueue(id)
 }
 
 // PeakBandwidthGBs returns the node's aggregate theoretical bandwidth.
@@ -106,8 +169,11 @@ type channel struct {
 	banks   []bank
 	rankAct []sim.Tick // per-rank earliest next activate (tRRD)
 	busFree sim.Tick
-	queue   []*Request
+	q       reqRing
 	kicked  bool
+	// serviceThunk is the one closure this channel ever schedules; reusing
+	// it keeps the kick path allocation-free.
+	serviceThunk func()
 
 	// precomputed timing in ns
 	cl, rcd, rp, ras, rc, wr, rtp, cwl, rrd, burst sim.Tick
@@ -130,11 +196,15 @@ func newChannel(c *Controller, idx int) *channel {
 	for i := range ch.banks {
 		ch.banks[i].openRow = -1
 	}
+	ch.serviceThunk = func() {
+		ch.kicked = false
+		ch.service()
+	}
 	return ch
 }
 
-func (ch *channel) enqueue(r *Request) {
-	ch.queue = append(ch.queue, r)
+func (ch *channel) enqueue(id int32) {
+	ch.q.push(id)
 	ch.kick(ch.ctl.eng.Now())
 }
 
@@ -143,10 +213,7 @@ func (ch *channel) kick(at sim.Tick) {
 		return
 	}
 	ch.kicked = true
-	ch.ctl.eng.At(at, func() {
-		ch.kicked = false
-		ch.service()
-	})
+	ch.ctl.eng.At(at, ch.serviceThunk)
 }
 
 // refreshAdjust pushes t past any refresh window it falls into. Refresh is
@@ -168,10 +235,11 @@ func (ch *channel) refreshAdjust(t sim.Tick) sim.Tick {
 // service issues column commands until the data bus runs far enough ahead,
 // then reschedules itself. Issuing back-to-back (rather than one command
 // per bus slot) lets activations on one bank overlap transfers from others,
-// which is where bank-level parallelism comes from.
+// which is where bank-level parallelism comes from. Each issued line's arena
+// slot is recycled immediately; completion is accounted on the line's batch.
 func (ch *channel) service() {
 	now := ch.ctl.eng.Now()
-	for len(ch.queue) > 0 {
+	for ch.q.n > 0 {
 		// Back-pressure: when the data bus is booked out past the lookahead
 		// window, resume once it drains back inside it.
 		if ch.busFree > now+sim.Tick(busAhead)*ch.burst {
@@ -180,19 +248,22 @@ func (ch *channel) service() {
 		}
 
 		pick := ch.pick(now)
-		r := ch.queue[pick]
-		ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+		id := ch.q.at(pick)
+		ch.q.removeAt(pick)
+		rq := &ch.ctl.reqs[id]
 
-		cmdAt, doneAt := ch.issue(r, now)
+		cmdAt, doneAt := ch.issue(rq, now)
 		st := &ch.ctl.stats
 		st.BytesMoved += accessBytes
-		st.QueueDelay += cmdAt - r.submit
-		if r.IsWrite {
+		st.QueueDelay += cmdAt - rq.submit
+		if rq.write {
 			st.Writes++
 		} else {
 			st.Reads++
 		}
-		ch.ctl.eng.At(doneAt, func() { r.Done(doneAt) })
+		batch := rq.batch
+		ch.ctl.freeReqs = append(ch.ctl.freeReqs, id)
+		ch.ctl.lineIssued(batch, doneAt)
 	}
 }
 
@@ -205,19 +276,20 @@ const starveNS = 200
 // The head of the queue is served unconditionally once it has aged past
 // starveNS, so row-hit streams cannot starve other banks.
 func (ch *channel) pick(now sim.Tick) int {
-	if now-ch.queue[0].submit > starveNS {
+	reqs := ch.ctl.reqs
+	if now-reqs[ch.q.at(0)].submit > starveNS {
 		return 0
 	}
-	limit := len(ch.queue)
+	limit := ch.q.n
 	if limit > frWindow {
 		limit = frWindow
 	}
 	best := 0
 	bestReady := sim.MaxTick
 	for i := 0; i < limit; i++ {
-		r := ch.queue[i]
-		b := &ch.banks[ch.ctl.geo.bankIndex(r.loc)]
-		if b.openRow == r.loc.Row {
+		rq := &reqs[ch.q.at(i)]
+		b := &ch.banks[ch.ctl.geo.bankIndex(rq.loc)]
+		if b.openRow == rq.loc.Row {
 			return i // row hit: take the oldest hit immediately
 		}
 		ready := b.actReadyAt
@@ -234,7 +306,7 @@ func (ch *channel) pick(now sim.Tick) int {
 
 // issue runs the bank state machine for one request starting no earlier
 // than now and returns the column command time and data completion time.
-func (ch *channel) issue(r *Request, now sim.Tick) (cmdAt, doneAt sim.Tick) {
+func (ch *channel) issue(r *request, now sim.Tick) (cmdAt, doneAt sim.Tick) {
 	g := ch.ctl.geo
 	b := &ch.banks[g.bankIndex(r.loc)]
 	st := &ch.ctl.stats
@@ -268,7 +340,7 @@ func (ch *channel) issue(r *Request, now sim.Tick) (cmdAt, doneAt sim.Tick) {
 	cmdAt = max64(now, b.colReadyAt)
 	cmdAt = ch.refreshAdjust(cmdAt)
 
-	if r.IsWrite {
+	if r.write {
 		dataAt := max64(cmdAt+ch.cwl, ch.busFree)
 		doneAt = dataAt + ch.burst
 		ch.busFree = doneAt

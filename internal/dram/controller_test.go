@@ -239,8 +239,15 @@ func TestQueueDelayAccumulates(t *testing.T) {
 		c.Submit(&Request{Addr: geo.Unmap(l), Done: func(sim.Tick) {}})
 	}
 	eng.Run()
-	if st := c.Stats(); st.QueueDelay <= 0 {
+	st := c.Stats()
+	if st.QueueDelay <= 0 {
 		t.Fatalf("QueueDelay = %d, want > 0 under contention", st.QueueDelay)
+	}
+	if want := float64(st.QueueDelay) / float64(st.Reads+st.Writes); st.MeanQueueDelayNS() != want {
+		t.Fatalf("MeanQueueDelayNS = %v, want %v", st.MeanQueueDelayNS(), want)
+	}
+	if (Stats{}).MeanQueueDelayNS() != 0 {
+		t.Fatal("MeanQueueDelayNS on empty stats should be 0")
 	}
 }
 

@@ -1,0 +1,53 @@
+package dram
+
+// reqRing is a per-channel circular queue of arena request ids. The FR-FCFS
+// scheduler only ever removes within its bounded lookahead (frWindow) or at
+// the head, so removeAt shifts at most frWindow-1 entries — constant work,
+// replacing the O(n) tail copy of the old slice-based queue. Capacity grows
+// geometrically and is then reused forever: steady-state operation performs
+// no allocation.
+type reqRing struct {
+	ids  []int32 // power-of-two length
+	head int
+	n    int
+}
+
+// grow doubles capacity (64 minimum), rewriting entries in queue order.
+func (q *reqRing) grow() {
+	c := len(q.ids) * 2
+	if c == 0 {
+		c = 64
+	}
+	ids := make([]int32, c)
+	for i := 0; i < q.n; i++ {
+		ids[i] = q.ids[(q.head+i)&(len(q.ids)-1)]
+	}
+	q.ids = ids
+	q.head = 0
+}
+
+// push appends an id at the tail.
+func (q *reqRing) push(id int32) {
+	if q.n == len(q.ids) {
+		q.grow()
+	}
+	q.ids[(q.head+q.n)&(len(q.ids)-1)] = id
+	q.n++
+}
+
+// at returns the id at queue position i (0 = oldest).
+func (q *reqRing) at(i int) int32 {
+	return q.ids[(q.head+i)&(len(q.ids)-1)]
+}
+
+// removeAt deletes the entry at position i by shifting the i entries in
+// front of it one slot toward the tail and advancing head — i is bounded by
+// the FR-FCFS window, so this is constant-time.
+func (q *reqRing) removeAt(i int) {
+	mask := len(q.ids) - 1
+	for ; i > 0; i-- {
+		q.ids[(q.head+i)&mask] = q.ids[(q.head+i-1)&mask]
+	}
+	q.head = (q.head + 1) & mask
+	q.n--
+}

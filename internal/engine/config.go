@@ -165,6 +165,10 @@ type Result struct {
 	HostLinkDownBytes int64
 	HostLinkUpBytes   int64
 	LocalDRAMReads    int64
+	// MeanQueueDelayNS is the mean time a DRAM line request waited in a
+	// channel queue before its column command issued, aggregated over every
+	// controller in the system (host DIMMs and CXL devices).
+	MeanQueueDelayNS float64
 	DeviceReads       []int64 // per CXL device
 	BufferHitRatio    float64
 	BufferHits        int64

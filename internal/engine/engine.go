@@ -392,9 +392,22 @@ func (s *system) collect() Result {
 	if r.Bags > 0 {
 		r.NSPerBag = float64(r.TotalNS) / float64(r.Bags)
 	}
+	var queueDelay, queueReqs int64
+	for _, h := range s.hosts {
+		st := h.localDRAM.Stats()
+		queueDelay += st.QueueDelay
+		queueReqs += st.Reads + st.Writes
+	}
 	r.DeviceReads = make([]int64, s.cfg.Devices)
 	for d := 0; d < s.cfg.Devices; d++ {
-		r.DeviceReads[d] = s.switches[s.devSwitch[d]].Device(s.devOnSw[d]).Stats().Reads
+		dev := s.switches[s.devSwitch[d]].Device(s.devOnSw[d])
+		r.DeviceReads[d] = dev.Stats().Reads
+		dst := dev.DRAMStats()
+		queueDelay += dst.QueueDelay
+		queueReqs += dst.Reads + dst.Writes
+	}
+	if queueReqs > 0 {
+		r.MeanQueueDelayNS = float64(queueDelay) / float64(queueReqs)
 	}
 	var hits, misses int64
 	var tagSwitches, inOrder int64

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"pifsrec/internal/dram"
 	"pifsrec/internal/fabric"
 	"pifsrec/internal/isa"
 	"pifsrec/internal/pifs"
@@ -155,20 +154,15 @@ func sortedSwitches(bySwitch map[int][]uint64) []int {
 // localSLS reads row vectors from the host's own DIMMs; the host folds them
 // into the partial sum at core speed (negligible next to DRAM service).
 // Under RecNMP the controller is the widened rank-parallel NMP organization.
+// All of a bag's local rows go down as ONE controller batch with a single
+// completion counter, replacing the per-row/per-line join chains. addrs is
+// owned by the caller's bag and is rewritten in place to node-local bases.
 func (s *system) localSLS(h *host, addrs []uint64, done func(at sim.Tick)) {
-	j := newJoin(len(addrs), done)
 	localCap := h.localDRAM.Geometry().Capacity()
-	for _, addr := range addrs {
-		lines := s.vecBytes / 64
-		rj := newJoin(lines, j.done)
-		base := nodeLocalAddr(addr, localCap)
-		for l := 0; l < lines; l++ {
-			h.localDRAM.Submit(&dram.Request{
-				Addr: base + uint64(l*64),
-				Done: func(at sim.Tick) { rj.done(at) },
-			})
-		}
+	for i, addr := range addrs {
+		addrs[i] = nodeLocalAddr(addr, localCap)
 	}
+	h.localDRAM.SubmitBatch(addrs, s.vecBytes, false, 0, done)
 }
 
 // hostSideRemote is the Pond-family CXL path: each remote row costs one

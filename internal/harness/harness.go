@@ -670,6 +670,38 @@ func AblationSwapDepth() *report.Table {
 	return t
 }
 
+// DRAMQueueDelay reports the mean DRAM queueing delay per scheme and model:
+// the time a 64 B line request waits in a channel queue before its column
+// command issues, aggregated across host DIMMs and CXL devices. It is the
+// congestion signal behind the ns/bag figures — host-side schemes queue
+// every pooled row's lines behind the FlexBus round trips, while in-switch
+// accumulation keeps device queues short.
+func DRAMQueueDelay() *report.Table {
+	t := &report.Table{
+		Title:  "DRAM queue delay: mean ns a line request waits before issue",
+		Header: []string{"model", "Pond", "Pond+PM", "BEACON", "RecNMP", "PIFS-Rec"},
+	}
+	models := scaledModels()
+	schemes := engine.Schemes()
+	var cfgs []engine.Config
+	for _, m := range models {
+		tr := traceFor(trace.MetaLike, m, 2)
+		for _, s := range schemes {
+			cfgs = append(cfgs, schemeConfig(s, m, tr))
+		}
+	}
+	results := pool.RunConfigs(cfgs)
+	for mi, m := range models {
+		cells := []any{m.Name}
+		for si := range schemes {
+			cells = append(cells, results[mi*len(schemes)+si].MeanQueueDelayNS)
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("aggregated over all controllers (host DIMMs + CXL devices); Fig 12(a) workload")
+	return t
+}
+
 // Experiments maps experiment ids to their functions.
 func Experiments() map[string]func() *report.Table {
 	return map[string]func() *report.Table{
@@ -691,6 +723,7 @@ func Experiments() map[string]func() *report.Table {
 		"fig18":               Fig18,
 		"ablation-interleave": AblationInterleave,
 		"ablation-migration":  AblationSwapDepth,
+		"dram-queues":         DRAMQueueDelay,
 	}
 }
 

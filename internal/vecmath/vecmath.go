@@ -1,0 +1,110 @@
+// Package vecmath provides the small fp32 kernels the DLRM math runs on:
+// 4-way unrolled, block-processed dot products and axpy updates. Pure Go —
+// the unrolling breaks loop-carried dependence chains so the compiler can
+// keep four independent FMA streams in flight, the same engine-level
+// unroll-and-block treatment SIMD scan engines apply.
+//
+// # Reduction order
+//
+// Every reducing kernel uses one fixed, documented order so results are
+// bit-reproducible across platforms and refactors:
+//
+//   - Dot accumulates into four lanes s0..s3, lane j summing elements
+//     i ≡ j (mod 4) in ascending i, then combines as (s0+s1) + (s2+s3).
+//     The scalar tail (len%4 trailing elements) folds into s0..s2 the same
+//     way before the combine.
+//   - Axpy and Add are elementwise: unrolling does not change their
+//     floating-point results at all.
+//
+// Golden tests pin the kernels exactly (bit equality) against scalar
+// references written in this order.
+package vecmath
+
+// Dot returns the dot product of a and b with the package's fixed 4-lane
+// reduction order. The slices must have equal length.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa, bb := a[i:i+4:i+4], b[i:i+4:i+4]
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
+	}
+	switch len(a) - i {
+	case 3:
+		s2 += a[i+2] * b[i+2]
+		fallthrough
+	case 2:
+		s1 += a[i+1] * b[i+1]
+		fallthrough
+	case 1:
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotBias returns bias + Dot(a, b): the fused form a dense layer's neuron
+// uses. The bias joins after the lane combine, so DotBias(b, x, y) is
+// bit-identical to b + Dot(x, y).
+func DotBias(bias float32, a, b []float32) float32 {
+	return bias + Dot(a, b)
+}
+
+// Axpy computes y[i] += w * x[i] elementwise. Unrolled 4-wide; since lanes
+// are independent the result is bit-identical to the scalar loop.
+func Axpy(w float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("vecmath: Axpy length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx, yy := x[i:i+4:i+4], y[i:i+4:i+4]
+		yy[0] += w * xx[0]
+		yy[1] += w * xx[1]
+		yy[2] += w * xx[2]
+		yy[3] += w * xx[3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += w * x[i]
+	}
+}
+
+// Add computes y[i] += x[i] elementwise (the unweighted SLS fold). It is
+// bit-identical to Axpy(1, x, y) and skips the multiply.
+func Add(x, y []float32) {
+	if len(x) != len(y) {
+		panic("vecmath: Add length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xx, yy := x[i:i+4:i+4], y[i:i+4:i+4]
+		yy[0] += xx[0]
+		yy[1] += xx[1]
+		yy[2] += xx[2]
+		yy[3] += xx[3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += x[i]
+	}
+}
+
+// ReLU clamps negatives to zero in place.
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// Zero clears x.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}

@@ -1,0 +1,171 @@
+package vecmath
+
+import (
+	"testing"
+
+	"pifsrec/internal/sim"
+)
+
+// refDot is the scalar reference for the documented reduction order: four
+// lanes over i mod 4, combined (s0+s1)+(s2+s3). The kernels must match it
+// bit-for-bit at every length.
+func refDot(a, b []float32) float32 {
+	var s [4]float32
+	for i := range a {
+		s[i%4] += a[i] * b[i]
+	}
+	return (s[0] + s[1]) + (s[2] + s[3])
+}
+
+// refAxpy is the plain scalar loop; elementwise kernels must match it
+// bit-for-bit.
+func refAxpy(w float32, x, y []float32) {
+	for i := range x {
+		y[i] += w * x[i]
+	}
+}
+
+func randVec(rng *sim.RNG, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// TestDotGolden pins Dot bit-exactly against the reference order across
+// every length class (multiples of 4 and all three tail sizes), including
+// the dims the DLRM configs use (16..128).
+func TestDotGolden(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for n := 0; n <= 131; n++ {
+		a, b := randVec(rng, n), randVec(rng, n)
+		got, want := Dot(a, b), refDot(a, b)
+		if got != want {
+			t.Fatalf("n=%d: Dot = %x, reference order = %x", n, got, want)
+		}
+	}
+}
+
+func TestDotBiasGolden(t *testing.T) {
+	rng := sim.NewRNG(12)
+	for _, n := range []int{0, 1, 7, 64, 128} {
+		a, b := randVec(rng, n), randVec(rng, n)
+		bias := float32(rng.NormFloat64())
+		if got, want := DotBias(bias, a, b), bias+refDot(a, b); got != want {
+			t.Fatalf("n=%d: DotBias = %x, want %x", n, got, want)
+		}
+	}
+}
+
+// TestAxpyGolden pins Axpy bit-exactly against the scalar loop — unrolling
+// an elementwise op must not change results at all.
+func TestAxpyGolden(t *testing.T) {
+	rng := sim.NewRNG(13)
+	for n := 0; n <= 131; n++ {
+		x := randVec(rng, n)
+		y1, y2 := randVec(rng, n), make([]float32, n)
+		copy(y2, y1)
+		w := float32(rng.NormFloat64())
+		Axpy(w, x, y1)
+		refAxpy(w, x, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("n=%d i=%d: Axpy = %x, scalar = %x", n, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+// TestAddMatchesAxpy1 pins the multiply-free fold to Axpy(1, ...): with
+// w == 1, w*x is exactly x, so both must agree bit-for-bit.
+func TestAddMatchesAxpy1(t *testing.T) {
+	rng := sim.NewRNG(14)
+	for n := 0; n <= 67; n++ {
+		x := randVec(rng, n)
+		y1, y2 := randVec(rng, n), make([]float32, n)
+		copy(y2, y1)
+		Add(x, y1)
+		Axpy(1, x, y2)
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("n=%d i=%d: Add = %x, Axpy(1) = %x", n, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := []float32{-1, 0, 2.5, -0.001, 7}
+	ReLU(x)
+	want := []float32{0, 0, 2.5, 0, 7}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("ReLU[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	x := []float32{1, 2, 3}
+	Zero(x)
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("Zero left x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dot":  func() { Dot(make([]float32, 3), make([]float32, 4)) },
+		"Axpy": func() { Axpy(1, make([]float32, 3), make([]float32, 4)) },
+		"Add":  func() { Add(make([]float32, 3), make([]float32, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: length mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func benchDot(b *testing.B, n int, dot func(a, b []float32) float32) {
+	rng := sim.NewRNG(1)
+	x, y := randVec(rng, n), randVec(rng, n)
+	b.SetBytes(int64(2 * 4 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkDot128(b *testing.B)       { benchDot(b, 128, Dot) }
+func BenchmarkDotScalar128(b *testing.B) { benchDot(b, 128, refDot) }
+
+func BenchmarkAxpy128(b *testing.B) {
+	rng := sim.NewRNG(2)
+	x, y := randVec(rng, 128), randVec(rng, 128)
+	b.SetBytes(int64(2 * 4 * 128))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, x, y)
+	}
+}
+
+func BenchmarkAxpyScalar128(b *testing.B) {
+	rng := sim.NewRNG(2)
+	x, y := randVec(rng, 128), randVec(rng, 128)
+	b.SetBytes(int64(2 * 4 * 128))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refAxpy(0.5, x, y)
+	}
+}

@@ -1,0 +1,165 @@
+package pifsrec
+
+// TestWriteBenchSnapshot regenerates BENCH_2.json, the machine-readable
+// perf snapshot of the simulator itself (event-kernel throughput, request-
+// path allocation behavior, figure wall-clocks, vectorized-math kernels).
+// It only runs when explicitly requested, because it spends bench time:
+//
+//	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
+//
+// The committed BENCH_2.json records the numbers behind ROADMAP.md's perf
+// trajectory; regenerate it when landing a performance PR.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/engine"
+	"pifsrec/internal/harness"
+	"pifsrec/internal/trace"
+	"pifsrec/internal/vecmath"
+)
+
+type benchLine struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+type benchSnapshot struct {
+	PR          int                   `json:"pr"`
+	Command     string                `json:"command"`
+	Go          string                `json:"go"`
+	CPU         string                `json:"cpu"`
+	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	EventKernel struct {
+		NsPerEvent   float64 `json:"ns_per_event"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		AllocsPerOp  int64   `json:"allocs_per_op"`
+	} `json:"event_kernel"`
+	RequestPath struct {
+		NsPerBag    float64 `json:"ns_per_bag"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		MBPerSec    float64 `json:"mb_per_sec"`
+	} `json:"request_path"`
+	DeepQueueDrainNs float64              `json:"deep_queue_drain_ns"`
+	Vecmath          map[string]benchLine `json:"vecmath"`
+	FigureWallMs     map[string]float64   `json:"figure_wall_ms"`
+	SimNsPerBag      map[string]float64   `json:"sim_ns_per_bag"`
+}
+
+func toLine(r testing.BenchmarkResult) benchLine {
+	l := benchLine{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+	if r.Bytes > 0 && r.T > 0 {
+		l.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return l
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, after, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(after)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+func TestWriteBenchSnapshot(t *testing.T) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_2.json")
+	}
+
+	var snap benchSnapshot
+	snap.PR = 2
+	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
+	snap.Go = runtime.Version()
+	snap.CPU = cpuModel()
+	snap.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	ek := testing.Benchmark(BenchmarkEngineSchedule)
+	snap.EventKernel.NsPerEvent = float64(ek.NsPerOp())
+	snap.EventKernel.EventsPerSec = 1e9 / float64(ek.NsPerOp())
+	snap.EventKernel.AllocsPerOp = ek.AllocsPerOp()
+
+	rp := testing.Benchmark(BenchmarkDRAMRequestPath)
+	line := toLine(rp)
+	snap.RequestPath.NsPerBag = line.NsPerOp
+	snap.RequestPath.AllocsPerOp = line.AllocsPerOp
+	snap.RequestPath.MBPerSec = line.MBPerSec
+
+	snap.DeepQueueDrainNs = float64(testing.Benchmark(BenchmarkDRAMDeepQueue).NsPerOp())
+
+	snap.Vecmath = map[string]benchLine{
+		"sls_math_dim64": toLine(testing.Benchmark(BenchmarkSLSMath)),
+		"dot128": toLine(testing.Benchmark(func(b *testing.B) {
+			x, y := make([]float32, 128), make([]float32, 128)
+			for i := range x {
+				x[i] = float32(i) * 0.25
+				y[i] = float32(128-i) * 0.5
+			}
+			b.SetBytes(2 * 4 * 128)
+			b.ReportAllocs()
+			var sink float32
+			for i := 0; i < b.N; i++ {
+				sink += vecmath.Dot(x, y)
+			}
+			_ = sink
+		})),
+		"inference": toLine(testing.Benchmark(BenchmarkInference)),
+	}
+
+	snap.FigureWallMs = map[string]float64{}
+	for _, id := range []string{"fig12a", "fig12b", "fig13a"} {
+		id := id
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := harness.Run(id, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snap.FigureWallMs[id] = float64(r.NsPerOp()) / 1e6
+	}
+
+	// Simulated ns/bag per scheme on the default configuration — the
+	// model-level numbers the figures are built from.
+	snap.SimNsPerBag = map[string]float64{}
+	m := dlrm.RMC4().Scaled(64)
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 32, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range engine.Schemes() {
+		res, err := engine.Run(engine.Config{Scheme: s, Model: m, Trace: tr, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.SimNsPerBag[string(s)] = res.NSPerBag
+	}
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_2.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote BENCH_2.json: %.1fM events/sec, request path %d allocs/op\n",
+		snap.EventKernel.EventsPerSec/1e6, snap.RequestPath.AllocsPerOp)
+}
