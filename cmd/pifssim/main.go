@@ -26,6 +26,7 @@ func main() {
 	switches := flag.Int("switches", 1, "fabric switches (PIFS-Rec only)")
 	hosts := flag.Int("hosts", 1, "concurrent hosts")
 	buffer := flag.Int("buffer", 512<<10, "on-switch buffer bytes (PIFS-Rec)")
+	shards := flag.Int("shards", 1, "engine shards (conservative-window intra-sim parallelism; results are identical at any count)")
 	flag.Parse()
 
 	var m pifsrec.ModelConfig
@@ -60,6 +61,7 @@ func main() {
 		Devices:     *devices,
 		Switches:    *switches,
 		Hosts:       *hosts,
+		Shards:      *shards,
 		BufferBytes: *buffer,
 		Seed:        1,
 	})

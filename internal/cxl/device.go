@@ -22,8 +22,24 @@ type Type3Device struct {
 	// access on the device side.
 	ctrlNS sim.Tick
 
+	// Message-mode wiring (sharded fabric): reads arrive as KindDevRead
+	// envelopes and the vector returns as a KindDevData message on reply.
+	// fnDone is stored once so completions allocate nothing.
+	reply    *Link
+	vecBytes int
+	fnDone   func(int32, sim.Tick)
+
 	stats DeviceStats
 }
+
+// Device message kinds (switch <-> device over DSP links in mailbox mode).
+const (
+	// KindDevRead requests a row-vector read: A=device-local address,
+	// U0=requester token (echoed back verbatim).
+	KindDevRead uint16 = 0x10
+	// KindDevData announces the vector at the requester: U0=token.
+	KindDevData uint16 = 0x11
+)
 
 // DeviceStats counts device-side activity. The fabric's embedding-spreading
 // policy (§IV-B3) reads these to find overloaded devices.
@@ -97,6 +113,37 @@ func (d *Type3Device) AccessVector(addr uint64, vecBytes int, write bool, done f
 		d.stats.Reads += lines
 	}
 	d.ctl.SubmitRange(addr, vecBytes, write, d.ctrlNS, done)
+}
+
+// Bind wires the device for message mode: vector reads requested via
+// HandleMsg return as KindDevData messages of vecBytes on reply (the
+// device-owned DSP up-link).
+func (d *Type3Device) Bind(reply *Link, vecBytes int) {
+	d.reply = reply
+	d.vecBytes = vecBytes
+	d.fnDone = func(tok int32, _ sim.Tick) {
+		d.reply.SendMsg(d.vecBytes, sim.Payload{Kind: KindDevData, U0: tok}, nil)
+	}
+}
+
+// HandleMsg serves one KindDevRead request: the vector's line requests go
+// down as a single controller batch and the data message is sent when the
+// last beat (plus controller overhead) completes. Completion records are
+// value-typed — the requester's token threads through the DRAM batch slot
+// and back into the reply payload, no closures.
+func (d *Type3Device) HandleMsg(env sim.Envelope) {
+	if env.P.Kind != KindDevRead {
+		panic(fmt.Sprintf("cxl: device %d got message kind %#x", d.ID, env.P.Kind))
+	}
+	if d.reply == nil {
+		panic(fmt.Sprintf("cxl: device %d HandleMsg without Bind", d.ID))
+	}
+	addr := env.P.A
+	if end := addr + uint64(d.vecBytes); end > uint64(d.Capacity()) || end < addr {
+		panic(fmt.Sprintf("cxl: device %d access [%#x, %#x) beyond capacity %#x", d.ID, addr, end, d.Capacity()))
+	}
+	d.stats.Reads += int64(d.vecBytes / 64)
+	d.ctl.SubmitRangeCall(addr, d.vecBytes, false, d.ctrlNS, d.fnDone, env.P.U0)
 }
 
 // String describes the device.

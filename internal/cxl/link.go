@@ -37,12 +37,27 @@ const (
 // Link is a unidirectional serialized transfer pipe with finite bandwidth
 // and fixed propagation latency. Transfers queue behind one another on the
 // serialization stage (modelling lane occupancy) and then propagate.
+//
+// A link operates in one of two delivery modes. The legacy closure mode
+// (Send) schedules the deliver callback on the link's own engine — fine when
+// both endpoints share a shard. The mailbox mode (Bind + SendMsg) posts a
+// value-typed message to the destination shard instead: the link's state
+// (freeAt, stats) is owned by the sending component's shard, and delivery
+// order across shards is fixed by the sharded engine's (time, port, seq)
+// merge. The system simulation uses mailbox mode exclusively so results do
+// not depend on how components are packed onto shards.
 type Link struct {
 	eng        *sim.Engine
 	name       string
 	bytesPerNS float64
 	propNS     sim.Tick
 	freeAt     sim.Tick
+
+	// mailbox mode wiring (nil out = closure mode only)
+	out         *sim.Outbox
+	port        int32
+	dstShard    int32
+	dstEndpoint int32
 
 	stats LinkStats
 }
@@ -89,6 +104,38 @@ func (l *Link) serNS(bytes int) sim.Tick {
 // Send transfers bytes over the link and invokes deliver when the payload
 // arrives at the far end. Send returns the delivery time.
 func (l *Link) Send(bytes int, deliver func(at sim.Tick)) sim.Tick {
+	arrive := l.occupy(bytes)
+	if deliver != nil {
+		l.eng.At(arrive, func() { deliver(arrive) })
+	}
+	return arrive
+}
+
+// Bind switches the link into mailbox mode: SendMsg posts to out with the
+// given port id, destined for dstEndpoint on dstShard. Call once at wiring
+// time, from the construction path that also fixes port numbering.
+func (l *Link) Bind(out *sim.Outbox, port, dstShard, dstEndpoint int32) {
+	l.out = out
+	l.port = port
+	l.dstShard = dstShard
+	l.dstEndpoint = dstEndpoint
+}
+
+// SendMsg transfers bytes over the link and posts p (plus an optional addrs
+// span, copied) for delivery at the arrival time to the bound destination.
+// It returns the arrival time. The link must be Bound.
+func (l *Link) SendMsg(bytes int, p sim.Payload, addrs []uint64) sim.Tick {
+	if l.out == nil {
+		panic(fmt.Sprintf("cxl: link %s SendMsg without Bind", l.name))
+	}
+	arrive := l.occupy(bytes)
+	l.out.Post(l.port, l.dstShard, l.dstEndpoint, arrive, p, addrs)
+	return arrive
+}
+
+// occupy runs the serialization stage bookkeeping shared by both delivery
+// modes and returns the far-end arrival time.
+func (l *Link) occupy(bytes int) sim.Tick {
 	if bytes <= 0 {
 		panic(fmt.Sprintf("cxl: link %s send of %d bytes", l.name, bytes))
 	}
@@ -105,10 +152,6 @@ func (l *Link) Send(bytes int, deliver func(at sim.Tick)) sim.Tick {
 	l.stats.BytesMoved += int64(bytes)
 	l.stats.BusyNS += ser
 	l.stats.WaitNS += start - now
-
-	if deliver != nil {
-		l.eng.At(arrive, func() { deliver(arrive) })
-	}
 	return arrive
 }
 

@@ -17,11 +17,16 @@ type batchState struct {
 	last      sim.Tick
 	extra     sim.Tick
 	done      func(at sim.Tick)
-	fire      func() // allocated once per slot, reused across recycles
+	// Token completion alternative: fnc(arg, at) with a caller-stored func
+	// value, so steady-state submitters need not allocate a closure per
+	// batch (the zero-scratch bag dispatch path).
+	fnc  func(arg int32, at sim.Tick)
+	arg  int32
+	fire func() // allocated once per slot, reused across recycles
 }
 
 // allocBatch returns an armed batch slot index.
-func (c *Controller) allocBatch(lines int, extra sim.Tick, done func(at sim.Tick)) int32 {
+func (c *Controller) allocBatch(lines int, extra sim.Tick, done func(at sim.Tick), fnc func(int32, sim.Tick), arg int32) int32 {
 	var id int32
 	if n := len(c.freeBatches); n > 0 {
 		id = c.freeBatches[n-1]
@@ -37,6 +42,8 @@ func (c *Controller) allocBatch(lines int, extra sim.Tick, done func(at sim.Tick
 	b.last = 0
 	b.extra = extra
 	b.done = done
+	b.fnc = fnc
+	b.arg = arg
 	return id
 }
 
@@ -59,9 +66,14 @@ func (c *Controller) lineIssued(batch int32, doneAt sim.Tick) {
 // reuses it.
 func (c *Controller) fireBatch(id int32) {
 	b := &c.batches[id]
-	done, at := b.done, b.last+b.extra
+	done, fnc, arg, at := b.done, b.fnc, b.arg, b.last+b.extra
 	b.done = nil
+	b.fnc = nil
 	c.freeBatches = append(c.freeBatches, id)
+	if fnc != nil {
+		fnc(arg, at)
+		return
+	}
 	done(at)
 }
 
@@ -71,9 +83,10 @@ func (c *Controller) InFlightBatches() int {
 	return len(c.batches) - len(c.freeBatches)
 }
 
-// checkBatchArgs validates the shared SubmitRange/SubmitBatch contract.
-func checkBatchArgs(bytes int, extra sim.Tick, done func(at sim.Tick)) {
-	if done == nil {
+// checkBatchArgs validates the shared SubmitRange/SubmitBatch contract;
+// exactly one of done / fnc carries the completion.
+func checkBatchArgs(bytes int, extra sim.Tick, done func(at sim.Tick), fnc func(int32, sim.Tick)) {
+	if done == nil && fnc == nil {
 		panic("dram: batch submit without completion callback")
 	}
 	if bytes <= 0 || bytes%accessBytes != 0 {
@@ -84,17 +97,46 @@ func checkBatchArgs(bytes int, extra sim.Tick, done func(at sim.Tick)) {
 	}
 }
 
+// submitRange is the shared body of the range-submit variants.
+func (c *Controller) submitRange(addr uint64, bytes int, isWrite bool, extraNS sim.Tick,
+	done func(at sim.Tick), fnc func(int32, sim.Tick), arg int32) {
+	checkBatchArgs(bytes, extraNS, done, fnc)
+	lines := bytes / accessBytes
+	batch := c.allocBatch(lines, extraNS, done, fnc, arg)
+	for l := 0; l < lines; l++ {
+		c.enqueueLine(addr+uint64(l*accessBytes), isWrite, batch)
+	}
+}
+
+// submitBatch is the shared body of the scattered-batch submit variants.
+func (c *Controller) submitBatch(addrs []uint64, vecBytes int, isWrite bool, extraNS sim.Tick,
+	done func(at sim.Tick), fnc func(int32, sim.Tick), arg int32) {
+	checkBatchArgs(vecBytes, extraNS, done, fnc)
+	if len(addrs) == 0 {
+		panic("dram: SubmitBatch with no addresses")
+	}
+	lines := vecBytes / accessBytes
+	batch := c.allocBatch(len(addrs)*lines, extraNS, done, fnc, arg)
+	for _, addr := range addrs {
+		for l := 0; l < lines; l++ {
+			c.enqueueLine(addr+uint64(l*accessBytes), isWrite, batch)
+		}
+	}
+}
+
 // SubmitRange queues bytes/64 line requests covering [addr, addr+bytes) as
 // one batched operation. done fires exactly once, extraNS after the batch's
 // last data beat, with that completion time; the whole batch costs a single
 // engine event regardless of line count.
 func (c *Controller) SubmitRange(addr uint64, bytes int, isWrite bool, extraNS sim.Tick, done func(at sim.Tick)) {
-	checkBatchArgs(bytes, extraNS, done)
-	lines := bytes / accessBytes
-	batch := c.allocBatch(lines, extraNS, done)
-	for l := 0; l < lines; l++ {
-		c.enqueueLine(addr+uint64(l*accessBytes), isWrite, batch)
-	}
+	c.submitRange(addr, bytes, isWrite, extraNS, done, nil, 0)
+}
+
+// SubmitRangeCall is SubmitRange with a token completion: fnc(arg, at) fires
+// once. fnc should be a value the caller stores once (a struct field), so
+// submitting costs no allocation.
+func (c *Controller) SubmitRangeCall(addr uint64, bytes int, isWrite bool, extraNS sim.Tick, fnc func(int32, sim.Tick), arg int32) {
+	c.submitRange(addr, bytes, isWrite, extraNS, nil, fnc, arg)
 }
 
 // SubmitBatch queues vecBytes/64 line requests at each base address as one
@@ -103,15 +145,12 @@ func (c *Controller) SubmitRange(addr uint64, bytes int, isWrite bool, extraNS s
 // the bag-granular entry point — one call covers every row vector of an SLS
 // bag. addrs is not retained.
 func (c *Controller) SubmitBatch(addrs []uint64, vecBytes int, isWrite bool, extraNS sim.Tick, done func(at sim.Tick)) {
-	checkBatchArgs(vecBytes, extraNS, done)
-	if len(addrs) == 0 {
-		panic("dram: SubmitBatch with no addresses")
-	}
-	lines := vecBytes / accessBytes
-	batch := c.allocBatch(len(addrs)*lines, extraNS, done)
-	for _, addr := range addrs {
-		for l := 0; l < lines; l++ {
-			c.enqueueLine(addr+uint64(l*accessBytes), isWrite, batch)
-		}
-	}
+	c.submitBatch(addrs, vecBytes, isWrite, extraNS, done, nil, 0)
+}
+
+// SubmitBatchCall is SubmitBatch with a token completion (see
+// SubmitRangeCall); the bag-dispatch path uses it so one SLS bag's local
+// rows go down with zero allocations.
+func (c *Controller) SubmitBatchCall(addrs []uint64, vecBytes int, isWrite bool, extraNS sim.Tick, fnc func(int32, sim.Tick), arg int32) {
+	c.submitBatch(addrs, vecBytes, isWrite, extraNS, nil, fnc, arg)
 }

@@ -102,7 +102,7 @@ func (c *Controller) Submit(r *Request) {
 	if r.Done == nil {
 		panic("dram: request without Done callback")
 	}
-	batch := c.allocBatch(1, 0, r.Done)
+	batch := c.allocBatch(1, 0, r.Done, nil, 0)
 	c.enqueueLine(r.Addr, r.IsWrite, batch)
 }
 

@@ -56,6 +56,13 @@ type Config struct {
 	// Hosts is the number of concurrent hosts (default 1; Fig 14 sweeps).
 	Hosts int
 
+	// Shards is the number of engine shards the simulation runs on
+	// (default 1). Hosts, switches, and devices are dealt round-robin onto
+	// shards and advance in conservative time windows bounded by the
+	// minimum CXL link latency, so a big configuration scales across cores.
+	// Results are byte-identical at every shard count.
+	Shards int
+
 	// LocalFraction is the share of the embedding footprint that fits in
 	// local DRAM (stand-in for the paper's fixed 128 GB against multi-TB
 	// models). Default 0.125.
@@ -119,6 +126,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Hosts == 0 {
 		c.Hosts = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("engine: negative shard count %d", c.Shards)
 	}
 	if c.LocalFraction == 0 {
 		c.LocalFraction = 0.125

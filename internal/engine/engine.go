@@ -34,14 +34,29 @@ const (
 	hostAccumPerRowNS = 1
 )
 
-// system is one assembled simulation.
+// system is one assembled simulation, sharded for conservative-time-window
+// execution. Components are partitioned into groups — each host with its
+// local DRAM and caches, each switch with its core and buffer, each CXL
+// device with its controller — and every group lives on exactly one engine
+// shard. Groups interact only through value-typed mailbox messages whose
+// latency is at least the window width, so a window's events on different
+// shards are causally independent; results are byte-identical at any shard
+// count, including the 1-shard reference.
+//
+// Shared state is read-mostly by construction: the layout and trace are
+// immutable, and the tier manager's placement only changes at window
+// barriers (accesses recorded during a window are merged per host, in host
+// order, before any epoch runs). Per-host mutable bookkeeping
+// (migrationWaitNS, bagsDone, access records) is merged at barriers or at
+// collect time, never touched across groups mid-window.
 type system struct {
 	cfg    Config
-	eng    *sim.Engine
+	se     *sim.ShardedEngine
 	layout dlrm.Layout
 	mgr    *tier.Manager
 
 	switches  []*fabric.Switch
+	devs      []*cxl.Type3Device
 	devSwitch []int // global device -> switch index
 	devOnSw   []int // global device -> device index on its switch
 	devCap    []int64
@@ -49,21 +64,106 @@ type system struct {
 
 	hosts    []*host
 	vecBytes int
-	bagsDone int
 
 	// pageBlockedUntil[page] is the time a migrating page becomes
 	// accessible again; accesses landing earlier wait (§IV-B4: the OS marks
 	// a migrating page non-accessible; cache-line-block shrinks the window).
+	// Written only at barriers (migrations run between windows); read freely
+	// by host shards during windows.
 	pageBlockedUntil []sim.Tick
-	migrationWaitNS  int64
+
+	barrierNow sim.Tick // current barrier time, for the move hook
+	epochsDone int
+}
+
+// shardCount clamps the configured shard count to the group count.
+func shardCount(cfg Config) int {
+	groups := cfg.Hosts + cfg.Switches + cfg.Devices
+	n := cfg.Shards
+	if n > groups {
+		n = groups
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Endpoint ids: hosts, then switches, then devices.
+func (s *system) hostEndpoint(h int) int32   { return int32(h) }
+func (s *system) switchEndpoint(w int) int32 { return int32(len(s.hosts) + w) }
+func (s *system) deviceEndpoint(d int) int32 {
+	return int32(len(s.hosts) + len(s.switches) + d)
+}
+
+// shardOf maps an endpoint to its shard: groups are dealt round-robin in
+// endpoint order, a placement that depends only on the shard count.
+func (s *system) shardOf(endpoint int32) int32 {
+	return endpoint % int32(s.se.Shards())
+}
+
+// deliver dispatches one mailbox message to its destination component. It
+// runs on the destination's shard.
+func (s *system) deliver(env sim.Envelope) {
+	ep := int(env.Endpoint)
+	if ep < len(s.hosts) {
+		s.hosts[ep].handleMsg(env)
+		return
+	}
+	ep -= len(s.hosts)
+	if ep < len(s.switches) {
+		s.switches[ep].HandleMsg(env)
+		return
+	}
+	s.devs[ep-len(s.switches)].HandleMsg(env)
+}
+
+// bagRec tracks one in-flight bag on its host: the outstanding part groups
+// (DIMM-cache hits, local batch, remote path), the remote-row completion
+// count for host-side schemes, and the latest part completion time. Records
+// are indexed by the bag's sumtag, which stays reserved for the bag's
+// lifetime — bag dispatch allocates nothing.
+type bagRec struct {
+	parts      int8
+	remoteLeft int32
+	remoteRows int32
+	localRows  int32
+	last       sim.Tick
+}
+
+// bagScratch is the per-tag classification scratch replacing the old
+// per-bag map and slices: row addresses split by destination, lengths reset
+// per bag, capacity retained across bags.
+type bagScratch struct {
+	local     []uint64
+	bySwitch  [][]uint64
+	cacheHits int
+	remote    int
+}
+
+func (sc *bagScratch) reset(switches int) {
+	sc.local = sc.local[:0]
+	if sc.bySwitch == nil {
+		sc.bySwitch = make([][]uint64, switches)
+	}
+	for i := range sc.bySwitch {
+		sc.bySwitch[i] = sc.bySwitch[i][:0]
+	}
+	sc.cacheHits = 0
+	sc.remote = 0
 }
 
 // host models one CPU socket driving its shard of the trace.
 type host struct {
 	sys  *system
+	eng  *sim.Engine
 	id   int
 	spid uint16
-	link *cxl.Duplex
+	// down is the host->switch FlexBus direction (owned by this host's
+	// shard); up is the switch->host direction (owned by the primary
+	// switch's shard, referenced here for stats collection).
+	down *cxl.Link
+	up   *cxl.Link
 	sw   *fabric.Switch // the switch this host's FlexBus lands on
 	// localDRAM is this socket's own DIMM population; dimmCache is the
 	// RecNMP rank-level cache in front of it (nil otherwise).
@@ -74,30 +174,94 @@ type host struct {
 	next        int
 	outstanding int
 	completed   int
+	bagsDone    int
 	finish      sim.Tick
-	stallUntil  sim.Tick
-	pumpPending bool
 	// freeTags is the pool of 6-bit sumtags; a tag stays reserved while its
 	// bag is in flight so no two active clusters of this host collide.
 	freeTags []uint8
 	// accumFree serializes the host CPU's SLS accumulate datapath.
 	accumFree sim.Tick
+
+	// migrationWaitNS and recAddrs are this host's shares of the global
+	// bookkeeping, merged at barriers/collect.
+	migrationWaitNS int64
+	recAddrs        []uint64
+
+	recs    [64]bagRec
+	scratch [64]bagScratch
+
+	// Stored token-event functions (allocated once; see sim.Engine.AtCall).
+	fnExec      func(int32)
+	fnPart      func(int32)
+	fnSnoop     func(int32)
+	fnLocalDone func(int32, sim.Tick)
 }
 
-// accumulate charges rows of host-side SLS folding, serialized on the
-// host's accumulate datapath, and reports the completion time.
-func (h *host) accumulate(rows int, at sim.Tick, done func(at sim.Tick)) {
-	if rows <= 0 {
-		done(at)
-		return
+// handleMsg consumes switch->host messages.
+func (h *host) handleMsg(env sim.Envelope) {
+	switch env.P.Kind {
+	case fabric.KindRowData:
+		// One remote row vector arrived over the FlexBus (host-side
+		// schemes); the last one starts the CPU fold of the remote set.
+		rec := &h.recs[env.P.Tag]
+		rec.remoteLeft--
+		if rec.remoteLeft == 0 {
+			h.accumulatePart(int(rec.remoteRows), int32(env.P.Tag))
+		}
+	case fabric.KindPIFSResult:
+		// The accumulated sum landed in the reserved address; the snooping
+		// daemon notices shortly after, then merges it at one row's cost.
+		h.eng.AtCall(h.eng.Now()+snoopNS, h.fnSnoop, int32(env.P.Tag))
+	default:
+		panic(fmt.Sprintf("engine: host %d got message kind %#x", h.id, env.P.Kind))
 	}
-	start := at
+}
+
+// accumulatePart charges rows of host-side SLS folding, serialized on the
+// host's accumulate datapath, and completes the bag part when it drains.
+func (h *host) accumulatePart(rows int, tag int32) {
+	start := h.eng.Now()
 	if h.accumFree > start {
 		start = h.accumFree
 	}
 	fin := start + sim.Tick(rows*hostAccumPerRowNS)
 	h.accumFree = fin
-	h.sys.eng.At(fin, func() { done(fin) })
+	h.eng.AtCall(fin, h.fnPart, tag)
+}
+
+// partDone retires one part group of a bag at the current time.
+func (h *host) partDone(tag int32) {
+	rec := &h.recs[tag]
+	if now := h.eng.Now(); now > rec.last {
+		rec.last = now
+	}
+	rec.parts--
+	if rec.parts == 0 {
+		h.bagComplete(uint8(tag), rec.last)
+	}
+}
+
+// localDone receives the local-DRAM batch completion. Under RecNMP the NMP
+// units folded in-DIMM at no CPU cost; other schemes fold on the host.
+func (h *host) localDone(tag int32, _ sim.Tick) {
+	if h.sys.cfg.Scheme == RecNMP {
+		h.partDone(tag)
+		return
+	}
+	h.accumulatePart(int(h.recs[tag].localRows), tag)
+}
+
+// bagComplete returns the tag, advances the host's progress, and refills the
+// pipeline.
+func (h *host) bagComplete(tag uint8, at sim.Tick) {
+	h.outstanding--
+	h.completed++
+	h.bagsDone++
+	h.freeTags = append(h.freeTags, tag)
+	if at > h.finish {
+		h.finish = at
+	}
+	h.pump()
 }
 
 // localGeometry is the host-attached DDR5 organization: the platform's
@@ -129,7 +293,8 @@ func deviceGeometry() dram.Geometry {
 
 // build assembles the system.
 func build(cfg Config) (*system, error) {
-	s := &system{cfg: cfg, eng: sim.NewEngine()}
+	s := &system{cfg: cfg}
+	s.se = sim.NewSharded(shardCount(cfg), cxl.PortOverheadNS)
 	s.vecBytes = cfg.Model.RowBytes()
 	s.layout = dlrm.NewLayout(cfg.Model, 0)
 	footprint := s.layout.Footprint()
@@ -163,10 +328,7 @@ func build(cfg Config) (*system, error) {
 	}
 	s.mgr = mgr
 
-	// Fabric switches and devices.
-	s.devSwitch = make([]int, cfg.Devices)
-	s.devOnSw = make([]int, cfg.Devices)
-	s.devCap = make([]int64, cfg.Devices)
+	// Fabric switches, each on its group's shard.
 	for i := 0; i < cfg.Switches; i++ {
 		swCfg := fabric.Config{
 			ID:      i,
@@ -192,39 +354,77 @@ func build(cfg Config) (*system, error) {
 				swCfg.BufferPolicy = cfg.BufferPolicy
 			}
 		}
-		s.switches = append(s.switches, fabric.New(s.eng, swCfg))
+		swEng := s.se.Shard(int(s.shardOf(int32(cfg.Hosts + i))))
+		s.switches = append(s.switches, fabric.New(swEng, swCfg))
 	}
-	// Fully connect the fabric (§IV-C1's scaled-out topology).
-	for i := range s.switches {
-		for j := i + 1; j < len(s.switches); j++ {
-			s.switches[i].Connect(s.switches[j])
-		}
-	}
+
+	// CXL devices on their own shards.
+	s.devSwitch = make([]int, cfg.Devices)
+	s.devOnSw = make([]int, cfg.Devices)
+	s.devCap = make([]int64, cfg.Devices)
 	s.swDevs = make([][]int, cfg.Switches)
 	for d := 0; d < cfg.Devices; d++ {
 		swIdx := d % cfg.Switches
-		dev := cxl.NewType3(s.eng, cxl.DeviceConfig{
+		devEng := s.se.Shard(int(s.shardOf(int32(cfg.Hosts + cfg.Switches + d))))
+		dev := cxl.NewType3(devEng, cxl.DeviceConfig{
 			ID:       d,
 			PortID:   uint16(0x200 + d),
 			Geometry: deviceGeometry(),
 			Timing:   dram.DDR4_3200(),
 		})
+		s.devs = append(s.devs, dev)
 		s.devSwitch[d] = swIdx
-		s.devOnSw[d] = s.switches[swIdx].AttachDevice(dev)
+		s.devOnSw[d] = len(s.swDevs[swIdx])
 		s.devCap[d] = dev.Capacity()
 		s.swDevs[swIdx] = append(s.swDevs[swIdx], d)
 	}
 
+	// Hosts with their own DIMM populations, sharded round-robin over the
+	// trace. RecNMP sockets carry the rank-parallel NMP organization plus
+	// the rank-level cache; HTR is "akin to RecNMP" (§IV-A4).
+	geo := localGeometry()
+	if cfg.Scheme == RecNMP {
+		geo = nmpGeometry()
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		hostEng := s.se.Shard(int(s.shardOf(int32(h))))
+		hh := &host{
+			sys:       s,
+			eng:       hostEng,
+			id:        h,
+			spid:      uint16(1 + h),
+			sw:        s.switches[h%len(s.switches)],
+			localDRAM: dram.NewController(hostEng, geo, dram.DDR5_4800()),
+		}
+		if cfg.Scheme == RecNMP {
+			hh.dimmCache = osb.New(4<<20, osb.HTR)
+		}
+		for tag := 63; tag >= 0; tag-- {
+			hh.freeTags = append(hh.freeTags, uint8(tag))
+		}
+		for i := h; i < len(cfg.Trace.Bags); i += cfg.Hosts {
+			hh.bags = append(hh.bags, cfg.Trace.Bags[i])
+		}
+		hh.fnExec = func(tag int32) { s.execBag(hh, uint8(tag)) }
+		hh.fnPart = hh.partDone
+		hh.fnSnoop = func(tag int32) { hh.accumulatePart(1, tag) }
+		hh.fnLocalDone = hh.localDone
+		s.hosts = append(s.hosts, hh)
+	}
+
+	s.wireLinks()
+
 	// Page moves invalidate cached row vectors on every buffered switch and
-	// block the page for the migration window. Invalidation is one
-	// range-granular call per cache, not a loop over the page's rows.
+	// block the page for the migration window. Migrations run only at
+	// window barriers, so the hook executes single-threaded between windows
+	// and may touch every group's caches.
 	s.pageBlockedUntil = make([]sim.Tick, s.mgr.Pages())
 	blockNS := sim.Tick(tier.CacheLineBlockStallNS)
 	if cfg.PageBlockMigration {
 		blockNS = tier.PageBlockStallNS
 	}
 	s.mgr.SetMoveHook(func(page int, from, to tier.Node) {
-		until := s.eng.Now() + blockNS
+		until := s.barrierNow + blockNS
 		if until > s.pageBlockedUntil[page] {
 			s.pageBlockedUntil[page] = until
 		}
@@ -243,36 +443,90 @@ func build(cfg Config) (*system, error) {
 		}
 	})
 
-	// Hosts with their FlexBus ports and their own DIMM populations,
-	// sharded round-robin over the trace. RecNMP sockets carry the
-	// rank-parallel NMP organization plus the rank-level cache (8 ranks x
-	// 512 KB aggregate); HTR is "akin to RecNMP" (§IV-A4).
-	geo := localGeometry()
-	if cfg.Scheme == RecNMP {
-		geo = nmpGeometry()
-	}
-	for h := 0; h < cfg.Hosts; h++ {
-		hh := &host{
-			sys:       s,
-			id:        h,
-			spid:      uint16(1 + h),
-			link:      cxl.NewDuplex(s.eng, fmt.Sprintf("host%d", h), cxl.PCIe5x16GBs, cxl.PortOverheadNS),
-			sw:        s.switches[h%len(s.switches)],
-			localDRAM: dram.NewController(s.eng, geo, dram.DDR5_4800()),
-		}
-		if cfg.Scheme == RecNMP {
-			hh.dimmCache = osb.New(4<<20, osb.HTR)
-		}
-		for tag := 63; tag >= 0; tag-- {
-			hh.freeTags = append(hh.freeTags, uint8(tag))
-		}
-		for i := h; i < len(cfg.Trace.Bags); i += cfg.Hosts {
-			hh.bags = append(hh.bags, cfg.Trace.Bags[i])
-		}
-		s.hosts = append(s.hosts, hh)
-	}
+	s.se.SetDeliver(s.deliver)
+	s.se.SetBarrier(s.barrier)
 	return s, nil
 }
+
+// wireLinks creates and binds every mailbox link. Port ids are allocated in
+// a fixed construction order (host FlexBus pairs, then DSPs, then peer
+// channels) so the barrier merge's (time, port, seq) key is identical at
+// every shard count.
+func (s *system) wireLinks() {
+	newLink := func(owner int32, name string, gbps float64, prop sim.Tick, dst int32) *cxl.Link {
+		eng := s.se.Shard(int(s.shardOf(owner)))
+		l := cxl.NewLink(eng, name, gbps, prop)
+		l.Bind(s.se.Outbox(int(s.shardOf(owner))), s.se.NewPort(), s.shardOf(dst), dst)
+		return l
+	}
+
+	S := len(s.switches)
+	hostUpBySwitch := make([][]*cxl.Link, S)
+	for w := range hostUpBySwitch {
+		hostUpBySwitch[w] = make([]*cxl.Link, len(s.hosts))
+	}
+	for _, h := range s.hosts {
+		swEp := s.switchEndpoint(h.sw.ID())
+		h.down = newLink(s.hostEndpoint(h.id), fmt.Sprintf("host%d.down", h.id),
+			cxl.PCIe5x16GBs, cxl.PortOverheadNS, swEp)
+		h.up = newLink(swEp, fmt.Sprintf("host%d.up", h.id),
+			cxl.PCIe5x16GBs, cxl.PortOverheadNS, s.hostEndpoint(h.id))
+		hostUpBySwitch[h.sw.ID()][h.id] = h.up
+	}
+
+	devDown := make([][]*cxl.Link, S)
+	for d, dev := range s.devs {
+		w := s.devSwitch[d]
+		onSw := len(devDown[w])
+		down := newLink(s.switchEndpoint(w), fmt.Sprintf("sw%d.dsp%d.down", w, onSw),
+			s.dspBandwidth(w), cxl.PortOverheadNS, s.deviceEndpoint(d))
+		up := newLink(s.deviceEndpoint(d), fmt.Sprintf("sw%d.dsp%d.up", w, onSw),
+			s.dspBandwidth(w), cxl.PortOverheadNS, s.switchEndpoint(w))
+		devDown[w] = append(devDown[w], down)
+		dev.Bind(up, s.vecBytes)
+	}
+
+	peerReq := make([][]*cxl.Link, S)
+	peerRsp := make([][]*cxl.Link, S)
+	hasCore := make([]bool, S)
+	for w, sw := range s.switches {
+		peerReq[w] = make([]*cxl.Link, S)
+		peerRsp[w] = make([]*cxl.Link, S)
+		hasCore[w] = sw.HasCore()
+	}
+	if S > 1 {
+		// The inter-switch channels carry the extra forwarding latency of
+		// §VI-C4; requests and partial returns ride separate pipes, like the
+		// legacy pairwise duplexes.
+		for a := 0; a < S; a++ {
+			for b := 0; b < S; b++ {
+				if a == b {
+					continue
+				}
+				peerReq[a][b] = newLink(s.switchEndpoint(a), fmt.Sprintf("sw%d-sw%d.req", a, b),
+					s.dspBandwidth(a), cxl.SwitchForwardNS, s.switchEndpoint(b))
+				peerRsp[a][b] = newLink(s.switchEndpoint(a), fmt.Sprintf("sw%d-sw%d.rsp", a, b),
+					s.dspBandwidth(a), cxl.SwitchForwardNS, s.switchEndpoint(b))
+			}
+		}
+	}
+
+	for w, sw := range s.switches {
+		sw.BindNet(fabric.Net{
+			VecBytes:    s.vecBytes,
+			HostUp:      hostUpBySwitch[w],
+			DevDown:     devDown[w],
+			PeerReq:     peerReq[w],
+			PeerRsp:     peerRsp[w],
+			PeerHasCore: hasCore,
+		})
+	}
+}
+
+// dspBandwidth is the switch's resolved per-downstream-port bandwidth
+// (fabric.Config.DSPBandwidthGBs after defaulting), so engine-built DSP and
+// peer links honor any per-switch override.
+func (s *system) dspBandwidth(w int) float64 { return s.switches[w].DSPBandwidthGBs() }
 
 // routeFor builds the FM-endpoint memory-indexing function of switch i: it
 // resolves a global address to a device attached to that switch. If a page
@@ -280,6 +534,8 @@ func build(cfg Config) (*system, error) {
 // the lookup table was updated), the route falls back to a deterministic
 // stripe across this switch's devices — the data is wherever the stale
 // table entry pointed, which this models without double-counting traffic.
+// Placement reads are safe from any shard mid-window: migrations only run
+// at barriers.
 func (s *system) routeFor(swIdx int) fabric.Route {
 	return func(addr uint64) (int, uint64) {
 		d := -1
@@ -315,6 +571,25 @@ func nodeLocalAddr(addr uint64, capacity int64) uint64 {
 	return (h%pages)*tier.PageBytes + off
 }
 
+// barrier runs between windows: merge the window's access records in host
+// order, then run any page-management epochs the completed-bag count owes.
+// Single-goroutine; every shard has joined.
+func (s *system) barrier(at sim.Tick) {
+	s.barrierNow = at
+	total := 0
+	for _, h := range s.hosts {
+		for _, a := range h.recAddrs {
+			s.mgr.Record(a)
+		}
+		h.recAddrs = h.recAddrs[:0]
+		total += h.bagsDone
+	}
+	for s.epochsDone < total/s.cfg.EpochBags {
+		s.epochsDone++
+		s.mgr.Epoch()
+	}
+}
+
 // Run simulates the configured system end to end.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
@@ -324,30 +599,21 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	s.eng.SetEventLimit(500_000_000)
+	for i := 0; i < s.se.Shards(); i++ {
+		s.se.Shard(i).SetEventLimit(500_000_000)
+	}
 
 	for _, h := range s.hosts {
 		h.pump()
 	}
-	s.eng.Run()
+	s.se.Run()
 
 	return s.collect(), nil
 }
 
-// pump keeps HostParallelism bags in flight, respecting migration stalls.
+// pump keeps HostParallelism bags in flight. Migration stalls gate the
+// individual bags (runBag's deferred start), not the pump itself.
 func (h *host) pump() {
-	if h.pumpPending {
-		return
-	}
-	now := h.sys.eng.Now()
-	if h.stallUntil > now {
-		h.pumpPending = true
-		h.sys.eng.At(h.stallUntil, func() {
-			h.pumpPending = false
-			h.pump()
-		})
-		return
-	}
 	for h.outstanding < h.sys.cfg.HostParallelism && h.next < len(h.bags) {
 		bag := h.bags[h.next]
 		n := len(h.freeTags)
@@ -355,38 +621,20 @@ func (h *host) pump() {
 		h.freeTags = h.freeTags[:n-1]
 		h.next++
 		h.outstanding++
-		h.sys.runBag(h, bag, tag, func(at sim.Tick) {
-			h.outstanding--
-			h.completed++
-			h.freeTags = append(h.freeTags, tag)
-			if at > h.finish {
-				h.finish = at
-			}
-			h.sys.bagCompleted()
-			h.pump()
-		})
+		h.sys.runBag(h, bag, tag)
 	}
 }
 
-// bagCompleted advances the page-management epoch clock. Migration costs
-// surface through the per-page blocked windows set by the move hook, not a
-// global freeze: only accesses that actually touch a migrating page wait.
-func (s *system) bagCompleted() {
-	s.bagsDone++
-	if s.bagsDone%s.cfg.EpochBags == 0 {
-		s.mgr.Epoch()
-	}
-}
-
-// collect gathers the result after the event queue drains.
+// collect gathers the result after the event queues drain.
 func (s *system) collect() Result {
-	r := Result{Scheme: s.cfg.Scheme, Bags: s.bagsDone}
+	r := Result{Scheme: s.cfg.Scheme}
 	for _, h := range s.hosts {
+		r.Bags += h.bagsDone
 		if h.finish > r.TotalNS {
 			r.TotalNS = h.finish
 		}
-		r.HostLinkDownBytes += h.link.Down.Stats().BytesMoved
-		r.HostLinkUpBytes += h.link.Up.Stats().BytesMoved
+		r.HostLinkDownBytes += h.down.Stats().BytesMoved
+		r.HostLinkUpBytes += h.up.Stats().BytesMoved
 		r.LocalDRAMReads += h.localDRAM.Stats().Reads
 	}
 	if r.Bags > 0 {
@@ -399,8 +647,7 @@ func (s *system) collect() Result {
 		queueReqs += st.Reads + st.Writes
 	}
 	r.DeviceReads = make([]int64, s.cfg.Devices)
-	for d := 0; d < s.cfg.Devices; d++ {
-		dev := s.switches[s.devSwitch[d]].Device(s.devOnSw[d])
+	for d, dev := range s.devs {
 		r.DeviceReads[d] = dev.Stats().Reads
 		dst := dev.DRAMStats()
 		queueDelay += dst.QueueDelay
@@ -434,12 +681,16 @@ func (s *system) collect() Result {
 	r.BufferHits = hits
 	r.CoreTagSwitches = tagSwitches
 	r.CoreInOrderStalls = inOrder
-	// migrationWaitNS sums per-bag waits, which overlap across the
+	// migration waits sum per-bag stalls, which overlap across the
 	// (Hosts x HostParallelism) concurrent bags; dividing by the
 	// concurrency yields the wall-clock-equivalent stall that "migration
 	// cost with respect to the total latency" (Fig 13) refers to.
+	var migrationWait int64
+	for _, h := range s.hosts {
+		migrationWait += h.migrationWaitNS
+	}
 	concurrency := int64(s.cfg.Hosts * s.cfg.HostParallelism)
-	r.MigrationStallNS = s.migrationWaitNS / concurrency
+	r.MigrationStallNS = migrationWait / concurrency
 	r.PagesMigrated = s.mgr.Stats().PagesMigrated
 	r.LocalShare = s.mgr.LocalShareOfAccesses()
 	r.DeviceAccessMean, r.DeviceAccessStd = s.mgr.DeviceAccessStdDev()

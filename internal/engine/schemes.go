@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"pifsrec/internal/fabric"
 	"pifsrec/internal/isa"
@@ -12,49 +11,28 @@ import (
 	"pifsrec/internal/trace"
 )
 
-// join fans multiple asynchronous parts into one completion carrying the
-// latest completion time. All parts must be registered before any can
-// complete — true here because registration happens synchronously within
-// one event.
-type join struct {
-	remaining int
-	last      sim.Tick
-	fn        func(at sim.Tick)
-}
-
-func newJoin(parts int, fn func(at sim.Tick)) *join {
-	if parts <= 0 {
-		panic("engine: join with no parts")
-	}
-	return &join{remaining: parts, fn: fn}
-}
-
-func (j *join) done(at sim.Tick) {
-	if at > j.last {
-		j.last = at
-	}
-	j.remaining--
-	if j.remaining == 0 {
-		j.fn(j.last)
-	}
-}
-
-// runBag executes one SLS bag under the configured scheme and calls done
-// with the completion time. Rows touching a page that is mid-migration wait
-// for the page's blocked window to close before the bag starts (§IV-B4).
-func (s *system) runBag(h *host, bag trace.Bag, tag uint8, done func(at sim.Tick)) {
+// runBag classifies one SLS bag's rows and launches its parts under the
+// configured scheme. Rows touching a page that is mid-migration wait for the
+// page's blocked window to close before the bag starts (§IV-B4).
+//
+// Classification writes into the host's per-tag scratch (no map, no fresh
+// slices: the tag stays reserved until the bag completes, so the scratch
+// survives a deferred start) and progress rides the per-tag bagRec — bag
+// dispatch is allocation-free in steady state.
+func (s *system) runBag(h *host, bag trace.Bag, tag uint8) {
 	if len(bag.Indices) == 0 {
 		panic("engine: empty bag")
 	}
-	var local []uint64
-	var cacheHits int
-	remoteBySwitch := make(map[int][]uint64)
-	remoteTotal := 0
-	now := s.eng.Now()
+	sc := &h.scratch[tag]
+	sc.reset(len(s.switches))
+	now := h.eng.Now()
 	start := now
 	for _, ix := range bag.Indices {
 		addr := s.layout.RowAddr(bag.Table, ix)
-		s.mgr.Record(addr)
+		// Hotness accounting is buffered per host and merged into the tier
+		// manager at the next window barrier (host order), keeping the
+		// manager read-only while shards run.
+		h.recAddrs = append(h.recAddrs, addr)
 		if b := s.pageBlockedUntil[s.mgr.PageOf(addr)]; b > start {
 			start = b
 		}
@@ -62,188 +40,139 @@ func (s *system) runBag(h *host, bag trace.Bag, tag uint8, done func(at sim.Tick
 		// granularity regardless of which tier their page sits on — the
 		// row-vs-page granularity advantage of §IV-B1.
 		if h.dimmCache != nil && h.dimmCache.Access(addr, s.vecBytes) {
-			cacheHits++
+			sc.cacheHits++
 			continue
 		}
 		node := s.mgr.NodeOf(addr)
 		if node == tier.NodeLocal {
-			local = append(local, addr)
+			sc.local = append(sc.local, addr)
 		} else {
 			swIdx := s.devSwitch[node.CXLIndex()]
-			remoteBySwitch[swIdx] = append(remoteBySwitch[swIdx], addr)
-			remoteTotal++
+			sc.bySwitch[swIdx] = append(sc.bySwitch[swIdx], addr)
+			sc.remote++
 		}
 	}
 	if start > now {
-		s.migrationWaitNS += int64(start - now)
-		s.eng.At(start, func() {
-			s.execBag(h, tag, cacheHits, local, remoteBySwitch, remoteTotal, done)
-		})
+		h.migrationWaitNS += int64(start - now)
+		h.eng.AtCall(start, h.fnExec, int32(tag))
 		return
 	}
-	s.execBag(h, tag, cacheHits, local, remoteBySwitch, remoteTotal, done)
+	s.execBag(h, tag)
 }
 
-func (s *system) execBag(h *host, tag uint8, cacheHits int, local []uint64,
-	remoteBySwitch map[int][]uint64, remoteTotal int, done func(at sim.Tick)) {
-	parts := 0
-	if cacheHits > 0 {
-		parts++
+// execBag launches the bag's part groups: DIMM-cache hits, the local-DRAM
+// batch, and the scheme's remote path.
+func (s *system) execBag(h *host, tag uint8) {
+	sc := &h.scratch[tag]
+	rec := &h.recs[tag]
+	*rec = bagRec{}
+	if sc.cacheHits > 0 {
+		rec.parts++
 	}
-	if len(local) > 0 {
-		parts++
+	if len(sc.local) > 0 {
+		rec.parts++
 	}
-	if remoteTotal > 0 {
-		parts++
+	if sc.remote > 0 {
+		rec.parts++
 	}
-	if parts == 0 {
+	if rec.parts == 0 {
 		panic("engine: bag with no rows to execute")
 	}
-	j := newJoin(parts, done)
+	now := h.eng.Now()
 
-	if cacheHits > 0 {
+	if sc.cacheHits > 0 {
 		// Cache-served rows accumulate inside the DIMM-side NMP units — no
 		// host CPU involvement.
-		s.eng.After(dimmCacheHitNS, func() { j.done(s.eng.Now()) })
+		h.eng.AtCall(now+dimmCacheHitNS, h.fnPart, int32(tag))
 	}
-	if len(local) > 0 {
+	if n := len(sc.local); n > 0 {
 		// Locally-resident rows are fetched from host DRAM and folded by
 		// the host CPU (for every scheme but RecNMP, whose NMP units fold
-		// in-DIMM at no CPU cost).
-		nLocal := len(local)
-		s.localSLS(h, local, func(at sim.Tick) {
-			if s.cfg.Scheme == RecNMP {
-				j.done(at)
-				return
-			}
-			h.accumulate(nLocal, at, j.done)
-		})
+		// in-DIMM at no CPU cost). All of a bag's local rows go down as ONE
+		// controller batch with a single completion counter. The scratch's
+		// addresses are rewritten in place to node-local bases.
+		rec.localRows = int32(n)
+		localCap := h.localDRAM.Geometry().Capacity()
+		for i, addr := range sc.local {
+			sc.local[i] = nodeLocalAddr(addr, localCap)
+		}
+		h.localDRAM.SubmitBatchCall(sc.local, s.vecBytes, false, 0, h.fnLocalDone, int32(tag))
 	}
-	if remoteTotal == 0 {
+	if sc.remote == 0 {
 		return
 	}
 	switch s.cfg.Scheme {
 	case Pond, PondPM, RecNMP:
-		// Host-side schemes also fold every remote row on the CPU.
-		s.hostSideRemote(h, remoteBySwitch, remoteTotal, func(at sim.Tick) {
-			h.accumulate(remoteTotal, at, j.done)
-		})
+		s.hostSideRemote(h, tag, sc)
 	case BEACON, PIFSRec:
-		// The switch returns one pre-accumulated vector; the host merges it
-		// into the bag result at the cost of a single row fold.
-		s.inSwitchRemote(h, tag, remoteBySwitch, func(at sim.Tick) {
-			h.accumulate(1, at, j.done)
-		})
+		s.inSwitchRemote(h, tag, sc)
 	default:
 		panic(fmt.Sprintf("engine: runBag for scheme %q", s.cfg.Scheme))
 	}
 }
 
-// sortedSwitches returns the map's switch indices in ascending order. Map
-// iteration order is randomized per run; fanning link sends out in a stable
-// order keeps multi-switch simulations bit-reproducible.
-func sortedSwitches(bySwitch map[int][]uint64) []int {
-	keys := make([]int, 0, len(bySwitch))
-	for swIdx := range bySwitch {
-		keys = append(keys, swIdx)
-	}
-	sort.Ints(keys)
-	return keys
-}
-
-// localSLS reads row vectors from the host's own DIMMs; the host folds them
-// into the partial sum at core speed (negligible next to DRAM service).
-// Under RecNMP the controller is the widened rank-parallel NMP organization.
-// All of a bag's local rows go down as ONE controller batch with a single
-// completion counter, replacing the per-row/per-line join chains. addrs is
-// owned by the caller's bag and is rewritten in place to node-local bases.
-func (s *system) localSLS(h *host, addrs []uint64, done func(at sim.Tick)) {
-	localCap := h.localDRAM.Geometry().Capacity()
-	for i, addr := range addrs {
-		addrs[i] = nodeLocalAddr(addr, localCap)
-	}
-	h.localDRAM.SubmitBatch(addrs, s.vecBytes, false, 0, done)
-}
-
 // hostSideRemote is the Pond-family CXL path: each remote row costs one
-// request slot down the host FlexBus, a bypass fetch through the switch,
-// and the full row vector back up the FlexBus, where the host accumulates.
-// The up-link occupancy per row is what the in-switch schemes eliminate.
-func (s *system) hostSideRemote(h *host, bySwitch map[int][]uint64, total int, done func(at sim.Tick)) {
-	j := newJoin(total, done)
-	for _, swIdx := range sortedSwitches(bySwitch) {
-		sw := s.switches[swIdx]
-		for _, addr := range bySwitch[swIdx] {
-			addr := addr
-			h.link.Down.Send(isa.SlotBytes, func(sim.Tick) {
-				sw.BypassRead(addr, s.vecBytes, func(sim.Tick) {
-					h.link.Up.Send(s.vecBytes, func(at sim.Tick) {
-						j.done(at)
-					})
-				})
-			})
+// request slot down the host FlexBus, a bypass fetch through the switch, and
+// the full row vector back up the FlexBus (KindRowData), where the host
+// accumulates once the last row lands. The up-link occupancy per row is what
+// the in-switch schemes eliminate. These schemes run a single switch, so
+// every remote row heads down the host's one FlexBus.
+func (s *system) hostSideRemote(h *host, tag uint8, sc *bagScratch) {
+	rec := &h.recs[tag]
+	rec.remoteLeft = int32(sc.remote)
+	rec.remoteRows = int32(sc.remote)
+	for swIdx := range sc.bySwitch {
+		for _, addr := range sc.bySwitch[swIdx] {
+			h.down.SendMsg(isa.SlotBytes, sim.Payload{
+				Kind: fabric.KindBypassRow, A: addr, U0: int32(h.id), Tag: tag,
+			}, nil)
 		}
 	}
 }
 
 // inSwitchRemote is the PIFS/BEACON path: one Configuration slot programs
 // the accumulation cluster (SumCandidateCount = rows not in local DRAM,
-// §IV-A2), DataFetch slots follow, devices feed the Process Core, and a
-// single accumulated vector returns over CXL.cache D2H, detected by the
-// host's snoop loop. Rows on devices behind peer switches travel via
-// multi-layer instruction forwarding with Sub-SumCandidateCounts (§IV-C1).
-func (s *system) inSwitchRemote(h *host, tag uint8, bySwitch map[int][]uint64, done func(at sim.Tick)) {
-	primary := h.sw
-	primaryIdx := primary.ID()
+// §IV-A2), DataFetch slots follow as one contiguous instruction stream
+// (§IV-D) crossing the FlexBus as a single batched transfer, and a single
+// accumulated vector returns over CXL.cache D2H (KindPIFSResult), detected
+// by the host's snoop loop. Rows on devices behind peer switches travel via
+// multi-layer instruction forwarding with Sub-SumCandidateCounts (§IV-C1):
+// each touched peer contributes one pre-accumulated partial, so it counts as
+// one candidate of the primary cluster. FIFO ordering on the FlexBus
+// guarantees the ACR entry exists before any fetch can produce data.
+func (s *system) inSwitchRemote(h *host, tag uint8, sc *bagScratch) {
+	primaryIdx := h.sw.ID()
 	key := pifs.ClusterKey{SPID: h.spid, SumTag: tag}
 
-	localFetches := bySwitch[primaryIdx]
+	localFetches := sc.bySwitch[primaryIdx]
 	candidates := len(localFetches)
-	type peerBatch struct {
-		sw    *fabric.Switch
-		addrs []uint64
-		sub   pifs.ClusterKey
+	for swIdx := range sc.bySwitch {
+		if swIdx != primaryIdx && len(sc.bySwitch[swIdx]) > 0 {
+			candidates++
+		}
 	}
-	var peers []peerBatch
-	for _, swIdx := range sortedSwitches(bySwitch) {
-		if swIdx == primaryIdx {
+
+	streamBytes := isa.SlotBytes * (1 + len(localFetches))
+	h.down.SendMsg(streamBytes, sim.Payload{
+		Kind: fabric.KindPIFSStream,
+		B:    fabric.PackKey(key),
+		U0:   int32(h.id),
+		U1:   int32(candidates),
+		Tag:  tag,
+	}, localFetches)
+
+	for swIdx := range sc.bySwitch {
+		if swIdx == primaryIdx || len(sc.bySwitch[swIdx]) == 0 {
 			continue
 		}
-		peers = append(peers, peerBatch{
-			sw:    s.switches[swIdx],
-			addrs: bySwitch[swIdx],
-			// Sub-cluster identity: high bit set, host and peer switch
-			// packed into the 12-bit port-id space.
-			sub: pifs.ClusterKey{SPID: 0x800 | h.spid<<5 | uint16(swIdx), SumTag: tag},
-		})
-		candidates++ // each peer contributes one pre-accumulated partial
+		// Sub-cluster identity: high bit set, host and peer switch packed
+		// into the 12-bit port-id space.
+		sub := pifs.ClusterKey{SPID: 0x800 | h.spid<<5 | uint16(swIdx), SumTag: tag}
+		h.down.SendMsg(len(sc.bySwitch[swIdx])*isa.SlotBytes, sim.Payload{
+			Kind: fabric.KindPeerBatch,
+			A:    fabric.PackKey(sub),
+			B:    fabric.PackKey(key),
+			U0:   int32(swIdx),
+		}, sc.bySwitch[swIdx])
 	}
-
-	onResult := func(sim.Tick) {
-		// The egress queue dispatches the accumulated vector to the host's
-		// reserved address; the snooping daemon notices shortly after.
-		h.link.Up.Send(s.vecBytes, func(at sim.Tick) {
-			s.eng.After(snoopNS, func() { done(at + snoopNS) })
-		})
-	}
-
-	// The PIFS kernel emits the Configuration slot and the DataFetch slots
-	// as one contiguous instruction stream (§IV-D), so they cross the
-	// FlexBus as a single batched transfer; FIFO ordering guarantees the
-	// ACR entry exists before any fetch can produce data.
-	streamBytes := isa.SlotBytes * (1 + len(localFetches))
-	h.link.Down.Send(streamBytes, func(sim.Tick) {
-		primary.PIFSConfigure(key, candidates, s.vecBytes, 0, onResult)
-		for _, addr := range localFetches {
-			primary.PIFSFetch(key, addr, s.vecBytes)
-		}
-		for _, pb := range peers {
-			pb := pb
-			h.link.Down.Send(len(pb.addrs)*isa.SlotBytes, func(sim.Tick) {
-				primary.ForwardFetch(pb.sw, pb.sub, pb.addrs, s.vecBytes, func(sim.Tick) {
-					primary.Core.Data(key)
-				})
-			})
-		}
-	})
 }

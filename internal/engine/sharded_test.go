@@ -1,0 +1,192 @@
+package engine
+
+// Shard-determinism regression tests for the conservative-time-window
+// refactor: the sharded engine must produce byte-identical Results at every
+// shard count — sharding is a scheduling decision, never a modelling one.
+
+import (
+	"reflect"
+	"testing"
+
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/sim"
+	"pifsrec/internal/trace"
+)
+
+// shardCounts covers the degenerate single shard, uneven splits, one shard
+// per group class, and more shards than groups (clamped).
+var shardCounts = []int{2, 3, 4, 16}
+
+// TestShardCountInvariantMatrix runs the full scheme x trace-kind matrix at
+// every shard count and requires Results identical to the 1-shard engine.
+func TestShardCountInvariantMatrix(t *testing.T) {
+	m := dlrm.RMC4().Scaled(64)
+	for _, kind := range trace.Kinds() {
+		tr := matrixTrace(t, kind, m)
+		for _, s := range Schemes() {
+			cfg := Config{Scheme: s, Model: m, Trace: tr, Seed: 3}
+			base, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, s, err)
+			}
+			for _, n := range shardCounts {
+				sharded := cfg
+				sharded.Shards = n
+				r, err := Run(sharded)
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", kind, s, n, err)
+				}
+				if !reflect.DeepEqual(base, r) {
+					t.Errorf("%s/%s: shards=%d diverged from 1-shard engine:\n  1: %#v\n  %d: %#v",
+						kind, s, n, base, n, r)
+				}
+			}
+		}
+	}
+}
+
+// TestShardCountInvariantScaleOut exercises the hairiest topologies — peer
+// forwarding across switches, shared fabrics, migration-heavy epochs — where
+// any ordering dependence on shard placement would surface.
+func TestShardCountInvariantScaleOut(t *testing.T) {
+	m := dlrm.RMC4().Scaled(64)
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Switches: 4, Devices: 8, Hosts: 4, HostParallelism: 8},
+		{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Switches: 2, Devices: 6, Hosts: 3},
+		{Scheme: Pond, Model: m, Trace: tr, Seed: 3, Hosts: 4, Devices: 8},
+		{Scheme: RecNMP, Model: m, Trace: tr, Seed: 3, Hosts: 2, Devices: 4, EpochBags: 16},
+		{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Devices: 8, EpochBags: 16, PageBlockMigration: true},
+	}
+	for ci, cfg := range cases {
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		for _, n := range shardCounts {
+			sharded := cfg
+			sharded.Shards = n
+			r, err := Run(sharded)
+			if err != nil {
+				t.Fatalf("case %d shards=%d: %v", ci, n, err)
+			}
+			if !reflect.DeepEqual(base, r) {
+				t.Errorf("case %d: shards=%d diverged:\n  1: %#v\n  %d: %#v", ci, n, base, n, r)
+			}
+		}
+	}
+}
+
+// buildSteady assembles a system for steady-state reuse measurements and
+// returns it with a repeatable workload cycle: the cycle aligns the shard
+// clocks, rewinds the hosts' trace cursors, and drives the whole trace
+// through again on warm arenas.
+func buildSteady(t testing.TB, shards int) (*system, func()) {
+	t.Helper()
+	m := dlrm.RMC1().Scaled(8)
+	m.Tables = 4
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 32, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DisablePM keeps placement static: epochs are no-ops, so the cycle
+	// isolates dispatch and messaging (the PIFS epoch itself sorts into
+	// fresh slices by design). The small buffer reaches eviction steady
+	// state during warmup — while the buffer is still filling, each insert
+	// legitimately grows the entry pool by one.
+	cfg := Config{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Shards: shards,
+		DisablePM: true, BufferBytes: 64 << 10}
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func() {
+		var end sim.Tick
+		for i := 0; i < s.se.Shards(); i++ {
+			if now := s.se.Shard(i).Now(); now > end {
+				end = now
+			}
+		}
+		for i := 0; i < s.se.Shards(); i++ {
+			s.se.Shard(i).RunUntil(end)
+		}
+		for _, h := range s.hosts {
+			h.next = 0
+			// Restore the build-time tag order so every pass assigns the
+			// same tag (hence the same scratch slot) to the same bag —
+			// passes become true steady-state repeats.
+			h.freeTags = h.freeTags[:0]
+			for tag := 63; tag >= 0; tag-- {
+				h.freeTags = append(h.freeTags, uint8(tag))
+			}
+			h.pump()
+		}
+		s.se.Run()
+	}
+	// Warm until pooled high-water marks (scratch, arenas, queue rings,
+	// buffer entry pools) converge; convergence is asymptotic because each
+	// pass's absolute timing differs (DRAM refresh phase, carried link and
+	// accumulator occupancy), occasionally raising a high-water mark.
+	for i := 0; i < 48; i++ {
+		cycle()
+	}
+	return s, cycle
+}
+
+// TestBagDispatchSteadyStateZeroAlloc pins the zero-scratch dispatch goal:
+// once arenas are warm, pushing the entire trace through runBag/execBag and
+// the in-switch message protocol allocates nothing on a single shard.
+func TestBagDispatchSteadyStateZeroAlloc(t *testing.T) {
+	_, cycle := buildSteady(t, 1)
+	if allocs := testing.AllocsPerRun(5, cycle); allocs > 0 {
+		t.Errorf("steady-state bag dispatch allocates %.1f objects per trace pass, want 0", allocs)
+	}
+}
+
+// TestShardedSteadyStateAllocBound allows only per-Run constants (worker
+// channels on multi-core runners) at shard counts above one: allocations
+// must not scale with the bag count.
+func TestShardedSteadyStateAllocBound(t *testing.T) {
+	s, cycle := buildSteady(t, 3)
+	bags := 0
+	for _, h := range s.hosts {
+		bags += len(h.bags)
+	}
+	if allocs := testing.AllocsPerRun(5, cycle); allocs > 32 {
+		t.Errorf("sharded steady-state pass allocates %.1f objects for %d bags, want O(1) <= 32", allocs, bags)
+	}
+}
+
+// TestNoLeaksAfterDrain checks every pooled resource is returned once the
+// queues drain: mailbox slots, switch transfer records, DRAM batch slots.
+func TestNoLeaksAfterDrain(t *testing.T) {
+	s, _ := buildSteady(t, 4)
+	if n := s.se.PendingMessages(); n != 0 {
+		t.Errorf("%d mailbox messages leaked", n)
+	}
+	for i, sw := range s.switches {
+		if n := sw.InFlightRecords(); n != 0 {
+			t.Errorf("switch %d leaked %d transfer records", i, n)
+		}
+	}
+	for i, h := range s.hosts {
+		if n := h.localDRAM.InFlightBatches(); n != 0 {
+			t.Errorf("host %d leaked %d DRAM batches", i, n)
+		}
+		if h.outstanding != 0 {
+			t.Errorf("host %d still has %d bags outstanding", i, h.outstanding)
+		}
+	}
+}

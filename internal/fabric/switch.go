@@ -88,6 +88,10 @@ type Switch struct {
 
 	xlatFree sim.Tick // translation-unit occupancy (XlatPerFetchNS > 0)
 
+	// msg is the sharded-fabric message machinery (nil in legacy closure
+	// mode); see messages.go.
+	msg *msgState
+
 	stats Stats
 }
 
@@ -115,6 +119,11 @@ func (s *Switch) PortID() uint16 { return s.cfg.PortID }
 
 // HasCore reports the CNV bit.
 func (s *Switch) HasCore() bool { return s.Core != nil }
+
+// DSPBandwidthGBs returns the resolved per-downstream-port bandwidth, so
+// external wiring (the sharded engine builds its own DSP and peer links)
+// uses the same figure as the switch's internal defaults.
+func (s *Switch) DSPBandwidthGBs() float64 { return s.cfg.DSPBandwidthGBs }
 
 // Stats returns a snapshot of counters.
 func (s *Switch) Stats() Stats { return s.stats }
@@ -228,17 +237,7 @@ func (s *Switch) PIFSFetch(key pifs.ClusterKey, addr uint64, vecBytes int) {
 		panic(fmt.Sprintf("fabric: switch %d has no process core", s.cfg.ID))
 	}
 	s.stats.PIFSFetches++
-	delay := s.cfg.DecodeNS
-	if s.cfg.XlatPerFetchNS > 0 {
-		// Serialize through the translation unit.
-		start := s.eng.Now()
-		if s.xlatFree > start {
-			start = s.xlatFree
-		}
-		s.xlatFree = start + s.cfg.XlatPerFetchNS
-		delay = s.xlatFree - s.eng.Now() + s.cfg.DecodeNS
-	}
-	s.eng.After(delay, func() {
+	s.eng.After(s.fetchDelay(), func() {
 		if s.Buffer != nil && s.Buffer.Access(addr, vecBytes) {
 			s.stats.BufferHits++
 			s.eng.After(s.Buffer.LatencyNS(), func() {
@@ -254,6 +253,22 @@ func (s *Switch) PIFSFetch(key pifs.ClusterKey, addr uint64, vecBytes int) {
 			s.Core.Data(key)
 		})
 	})
+}
+
+// fetchDelay returns a DataFetch's decode latency, serializing through the
+// additional memory-translation unit when the configuration has one
+// (BEACON's custom DIMM-instruction path, §II-B2).
+func (s *Switch) fetchDelay() sim.Tick {
+	delay := s.cfg.DecodeNS
+	if s.cfg.XlatPerFetchNS > 0 {
+		start := s.eng.Now()
+		if s.xlatFree > start {
+			start = s.xlatFree
+		}
+		s.xlatFree = start + s.cfg.XlatPerFetchNS
+		delay = s.xlatFree - s.eng.Now() + s.cfg.DecodeNS
+	}
+	return delay
 }
 
 // InvalidateBuffer drops a row vector from the on-switch buffer (page

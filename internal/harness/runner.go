@@ -81,11 +81,40 @@ func (r *Runner) Do(n int, fn func(int)) {
 	}
 }
 
+// ShardsPerConfig splits the pool's cores between sweep-level and intra-sim
+// parallelism: with fewer configurations than workers, the spare cores run
+// each simulation on that many engine shards (conservative-time-window
+// sharding); with a saturated sweep, shards stay at 1 and the pool
+// parallelizes across configurations only. Because simulation results are
+// byte-identical at every shard count, the split is a pure scheduling
+// decision — tables never depend on it.
+func (r *Runner) ShardsPerConfig(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	concurrent := r.workers
+	if concurrent > n {
+		concurrent = n
+	}
+	shards := r.workers / concurrent
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
 // RunConfigs simulates every config and returns the results in input order,
 // panicking on configuration errors exactly like the serial run helper.
+// Configs that leave Shards at zero inherit the pool's core split; an
+// explicit Shards value is honored as-is.
 func (r *Runner) RunConfigs(cfgs []engine.Config) []engine.Result {
+	shards := r.ShardsPerConfig(len(cfgs))
 	return mapIndexed(r, len(cfgs), func(i int) engine.Result {
-		return run(cfgs[i])
+		cfg := cfgs[i]
+		if cfg.Shards == 0 {
+			cfg.Shards = shards
+		}
+		return run(cfg)
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"pifsrec/internal/engine"
+	"pifsrec/internal/report"
 	"pifsrec/internal/trace"
 )
 
@@ -82,6 +83,55 @@ func TestFiguresByteIdenticalAcrossPoolWidths(t *testing.T) {
 		SetParallelism(prev)
 		if !bytes.Equal(serial, wide) {
 			t.Errorf("%s: output differs between 1-worker and 8-worker pools", id)
+		}
+	}
+}
+
+func TestShardsPerConfigSplit(t *testing.T) {
+	cases := []struct{ workers, configs, want int }{
+		{1, 10, 1}, // serial pool: no spare cores
+		{4, 10, 1}, // saturated sweep: all cores to sweep-level fan-out
+		{4, 4, 1},  // exactly saturated
+		{4, 2, 2},  // half-empty sweep: 2 cores per simulation
+		{8, 3, 2},  // floor(8/3)
+		{4, 1, 4},  // single config gets every core as shards
+		{4, 0, 1},  // degenerate
+	}
+	for _, c := range cases {
+		if got := NewRunner(c.workers).ShardsPerConfig(c.configs); got != c.want {
+			t.Errorf("ShardsPerConfig(workers=%d, configs=%d) = %d, want %d",
+				c.workers, c.configs, got, c.want)
+		}
+	}
+}
+
+// TestReportTablesShardInvariant renders the same scheme sweep as a report
+// table at several explicit shard counts and requires byte-identical output
+// against the 1-shard engine — the table-level form of the engine's
+// shard-determinism guarantee.
+func TestReportTablesShardInvariant(t *testing.T) {
+	m := scaledRMC4()
+	tr := traceFor(trace.MetaLike, m, 1)
+	render := func(shards int) string {
+		tbl := &report.Table{
+			Title:  "shard-invariance matrix",
+			Header: []string{"scheme", "ns/bag", "total ns", "up bytes", "buffer hit%"},
+		}
+		var cfgs []engine.Config
+		for _, s := range engine.Schemes() {
+			cfg := schemeConfig(s, m, tr)
+			cfg.Shards = shards
+			cfgs = append(cfgs, cfg)
+		}
+		for _, r := range pool.RunConfigs(cfgs) {
+			tbl.AddRow(string(r.Scheme), r.NSPerBag, r.TotalNS, r.HostLinkUpBytes, 100*r.BufferHitRatio)
+		}
+		return tbl.String()
+	}
+	base := render(1)
+	for _, n := range []int{2, 4, 8} {
+		if got := render(n); got != base {
+			t.Errorf("table at %d shards differs from the 1-shard engine:\n%s\nvs\n%s", n, got, base)
 		}
 	}
 }

@@ -70,6 +70,10 @@ type Buffer struct {
 	profiler *Profiler
 	stats    Stats
 	seq      uint64
+
+	// freeEntries recycles evicted/invalidated entry structs so steady-state
+	// insert/evict churn allocates nothing.
+	freeEntries []*entry
 }
 
 type entry struct {
@@ -209,14 +213,30 @@ func (b *Buffer) admit(addr uint64, size int, freq uint32) {
 		delete(b.entries, victim.addr)
 		b.used -= victim.size
 		b.stats.Evictions++
+		b.releaseEntry(victim)
 	}
 
-	e := &entry{addr: addr, size: size, rank: rank}
+	e := b.allocEntry()
+	e.addr, e.size, e.rank = addr, size, rank
 	heap.Push(&b.order, e)
 	b.entries[addr] = e
 	b.used += size
 	b.stats.Inserts++
 }
+
+// allocEntry returns a recycled (or fresh) entry struct.
+func (b *Buffer) allocEntry() *entry {
+	if n := len(b.freeEntries); n > 0 {
+		e := b.freeEntries[n-1]
+		b.freeEntries[n-1] = nil
+		b.freeEntries = b.freeEntries[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// releaseEntry returns a removed entry to the pool.
+func (b *Buffer) releaseEntry(e *entry) { b.freeEntries = append(b.freeEntries, e) }
 
 // Invalidate drops addr from the cache (used when migration moves a row),
 // reporting whether it was present.
@@ -228,6 +248,7 @@ func (b *Buffer) Invalidate(addr uint64) bool {
 	heap.Remove(&b.order, e.heap)
 	delete(b.entries, addr)
 	b.used -= e.size
+	b.releaseEntry(e)
 	return true
 }
 
@@ -255,6 +276,7 @@ func (b *Buffer) InvalidateRange(start, end uint64) int {
 		heap.Remove(&b.order, e.heap)
 		delete(b.entries, addr)
 		b.used -= e.size
+		b.releaseEntry(e)
 	}
 	return len(victims)
 }

@@ -83,13 +83,19 @@ type Stats struct {
 	Backpressured int64 // Configure calls that had to wait for ACR space
 }
 
-// cluster is one ACR entry.
+// cluster is one ACR entry. Entries live in a pooled arena referenced by
+// index; a slot stays allocated until its completion event fires, then
+// recycles — steady-state cluster turnover allocates nothing.
 type cluster struct {
 	key        ClusterKey
 	remaining  int
 	vecBytes   int
 	resultAddr uint64
+	// Completion is either a legacy closure (component tests, standalone
+	// use) or a token delivered to the installed sink (the switch's pooled
+	// result records). Exactly one is set.
 	onComplete func(at sim.Tick)
+	tok        int32
 	inSwapReg  bool
 }
 
@@ -99,10 +105,20 @@ type Core struct {
 	eng *sim.Engine
 	cfg Config
 
-	active map[ClusterKey]*cluster
+	active map[ClusterKey]int32
 	// waiting holds Configure requests beyond ACRCapacity (back-pressure on
-	// the upstream modules, §IV-A3).
-	waiting []*cluster
+	// the upstream modules, §IV-A3); head compaction keeps it allocation-free.
+	waiting     []int32
+	waitingHead int
+
+	// clusters is the pooled ACR arena with its free list.
+	clusters []cluster
+	freeCl   []int32
+
+	// sink receives token completions; fireFn is the one stored func value
+	// the completion events dispatch through.
+	sink   func(tok int32, at sim.Tick)
+	fireFn func(int32)
 
 	// lanes are the parallel accumulate pipelines; each tracks its own
 	// occupancy and loaded cluster. The swap-register pool is shared.
@@ -126,9 +142,16 @@ func New(eng *sim.Engine, cfg Config) *Core {
 		cfg.ClockNS <= 0 || cfg.Lanes <= 0 {
 		panic(fmt.Sprintf("pifs: invalid config %+v", cfg))
 	}
-	return &Core{eng: eng, cfg: cfg, active: make(map[ClusterKey]*cluster),
+	c := &Core{eng: eng, cfg: cfg, active: make(map[ClusterKey]int32),
 		lanes: make([]lane, cfg.Lanes)}
+	c.fireFn = c.fireCompletion
+	return c
 }
+
+// SetCompletionSink installs the token-completion receiver used by
+// ConfigureTok clusters. The switch installs one function at wiring time;
+// per-cluster state rides in the token.
+func (c *Core) SetCompletionSink(fn func(tok int32, at sim.Tick)) { c.sink = fn }
 
 // Stats returns a snapshot of the counters.
 func (c *Core) Stats() Stats { return c.stats }
@@ -137,7 +160,18 @@ func (c *Core) Stats() Stats { return c.stats }
 func (c *Core) ActiveClusters() int { return len(c.active) }
 
 // PendingConfigures returns the depth of the back-pressure queue.
-func (c *Core) PendingConfigures() int { return len(c.waiting) }
+func (c *Core) PendingConfigures() int { return len(c.waiting) - c.waitingHead }
+
+// allocCluster returns a recycled (or freshly grown) arena slot.
+func (c *Core) allocCluster() int32 {
+	if n := len(c.freeCl); n > 0 {
+		id := c.freeCl[n-1]
+		c.freeCl = c.freeCl[:n-1]
+		return id
+	}
+	c.clusters = append(c.clusters, cluster{})
+	return int32(len(c.clusters) - 1)
+}
 
 // Configure programs a new accumulation cluster: candidates row vectors of
 // vecBytes each will arrive for key; when the SumCandidateCounter reaches
@@ -145,30 +179,51 @@ func (c *Core) PendingConfigures() int { return len(c.waiting) }
 // request queues (back-pressure) and is admitted in FIFO order as clusters
 // complete.
 func (c *Core) Configure(key ClusterKey, candidates, vecBytes int, resultAddr uint64, onComplete func(at sim.Tick)) {
+	if onComplete == nil {
+		panic("pifs: Configure without completion callback")
+	}
+	c.configure(key, candidates, vecBytes, resultAddr, onComplete, -1)
+}
+
+// ConfigureTok programs a cluster whose completion is delivered as
+// sink(tok, at) — the closure-free path the switch's pooled result records
+// ride on. A completion sink must be installed.
+func (c *Core) ConfigureTok(key ClusterKey, candidates, vecBytes int, resultAddr uint64, tok int32) {
+	if c.sink == nil {
+		panic("pifs: ConfigureTok without a completion sink")
+	}
+	c.configure(key, candidates, vecBytes, resultAddr, nil, tok)
+}
+
+func (c *Core) configure(key ClusterKey, candidates, vecBytes int, resultAddr uint64, onComplete func(at sim.Tick), tok int32) {
 	if candidates <= 0 {
 		panic(fmt.Sprintf("pifs: cluster %v with %d candidates", key, candidates))
 	}
 	if vecBytes <= 0 || vecBytes%16 != 0 {
 		panic(fmt.Sprintf("pifs: vector size %d not a positive multiple of 16", vecBytes))
 	}
-	if onComplete == nil {
-		panic("pifs: Configure without completion callback")
-	}
 	if _, dup := c.active[key]; dup {
 		panic(fmt.Sprintf("pifs: cluster %v already active", key))
 	}
-	cl := &cluster{key: key, remaining: candidates, vecBytes: vecBytes,
-		resultAddr: resultAddr, onComplete: onComplete}
+	id := c.allocCluster()
+	cl := &c.clusters[id]
+	cl.key = key
+	cl.remaining = candidates
+	cl.vecBytes = vecBytes
+	cl.resultAddr = resultAddr
+	cl.onComplete = onComplete
+	cl.tok = tok
+	cl.inSwapReg = false
 	if len(c.active) >= c.cfg.ACRCapacity {
 		c.stats.Backpressured++
-		c.waiting = append(c.waiting, cl)
+		c.waiting = append(c.waiting, id)
 		return
 	}
-	c.admit(cl)
+	c.admit(id)
 }
 
-func (c *Core) admit(cl *cluster) {
-	c.active[cl.key] = cl
+func (c *Core) admit(id int32) {
+	c.active[c.clusters[id].key] = id
 	c.stats.Configured++
 }
 
@@ -185,10 +240,11 @@ func (c *Core) procNS(vecBytes int) sim.Tick {
 // dispatches to the earliest-free lane, preferring a lane that already has
 // the cluster loaded.
 func (c *Core) Data(key ClusterKey) sim.Tick {
-	cl, ok := c.active[key]
+	id, ok := c.active[key]
 	if !ok {
 		panic(fmt.Sprintf("pifs: data for unknown cluster %v", key))
 	}
+	cl := &c.clusters[id]
 	now := c.eng.Now()
 
 	// Lane choice: a lane already holding this cluster wins if it is no
@@ -250,7 +306,7 @@ func (c *Core) Data(key ClusterKey) sim.Tick {
 
 	cl.remaining--
 	if cl.remaining == 0 {
-		c.complete(cl, done)
+		c.complete(id, done)
 	}
 	return done
 }
@@ -258,8 +314,8 @@ func (c *Core) Data(key ClusterKey) sim.Tick {
 // Remaining returns the outstanding candidate count for a cluster, or -1
 // when the cluster is unknown (already completed).
 func (c *Core) Remaining(key ClusterKey) int {
-	if cl, ok := c.active[key]; ok {
-		return cl.remaining
+	if id, ok := c.active[key]; ok {
+		return c.clusters[id].remaining
 	}
 	return -1
 }
@@ -268,17 +324,18 @@ func (c *Core) Remaining(key ClusterKey) int {
 // controller uses this when Sub-SumCandidateCounts replace the original
 // count (§IV-C1).
 func (c *Core) AddCandidates(key ClusterKey, n int) {
-	cl, ok := c.active[key]
+	id, ok := c.active[key]
 	if !ok {
 		panic(fmt.Sprintf("pifs: AddCandidates for unknown cluster %v", key))
 	}
 	if n <= 0 {
 		panic(fmt.Sprintf("pifs: AddCandidates(%d)", n))
 	}
-	cl.remaining += n
+	c.clusters[id].remaining += n
 }
 
-func (c *Core) complete(cl *cluster, at sim.Tick) {
+func (c *Core) complete(id int32, at sim.Tick) {
+	cl := &c.clusters[id]
 	delete(c.active, cl.key)
 	if cl.inSwapReg {
 		c.swapUsed--
@@ -289,13 +346,32 @@ func (c *Core) complete(cl *cluster, at sim.Tick) {
 		}
 	}
 	c.stats.Completions++
-	done := cl.onComplete
-	c.eng.At(at, func() { done(at) })
+	// The arena slot stays allocated until the completion event fires; the
+	// event is a token call, so completing a cluster never allocates.
+	c.eng.AtCall(at, c.fireFn, id)
 
 	// Admit a waiting cluster now that ACR space freed.
-	if len(c.waiting) > 0 && len(c.active) < c.cfg.ACRCapacity {
-		next := c.waiting[0]
-		c.waiting = c.waiting[1:]
+	if c.waitingHead < len(c.waiting) && len(c.active) < c.cfg.ACRCapacity {
+		next := c.waiting[c.waitingHead]
+		c.waitingHead++
+		if c.waitingHead == len(c.waiting) {
+			c.waiting = c.waiting[:0]
+			c.waitingHead = 0
+		}
 		c.admit(next)
 	}
+}
+
+// fireCompletion delivers a completed cluster's result at its dispatch time
+// and recycles the arena slot.
+func (c *Core) fireCompletion(id int32) {
+	cl := &c.clusters[id]
+	done, tok := cl.onComplete, cl.tok
+	cl.onComplete = nil
+	c.freeCl = append(c.freeCl, id)
+	if done != nil {
+		done(c.eng.Now())
+		return
+	}
+	c.sink(tok, c.eng.Now())
 }

@@ -50,10 +50,17 @@ const (
 
 // node is one arena slot. Nodes are referenced by index, never by pointer,
 // so the arena can grow (and the engine can recycle slots) freely.
+//
+// A node carries either a plain callback (fn) or a token callback (fnc+arg).
+// Token callbacks exist so hot paths can schedule work without allocating a
+// fresh closure per event: the callee stores one func value up front and
+// passes a pooled-record index as the argument.
 type node struct {
 	at   Tick
 	seq  uint64
 	fn   func()
+	fnc  func(int32)
+	arg  int32
 	prev int32 // bucket list links (stateRing)
 	next int32
 	pos  int32  // heap index (stateHeap)
@@ -149,6 +156,19 @@ func (e *Engine) alloc() int32 {
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently clamping would hide it.
 func (e *Engine) At(t Tick, fn func()) Event {
+	return e.schedule(t, fn, nil, 0)
+}
+
+// AtCall schedules fn(arg) at absolute time t. Unlike At, it captures
+// nothing: callers keep one fn value alive (typically a struct field set at
+// construction) and thread per-event state through arg, usually an index
+// into a pooled record table — the zero-allocation scheduling primitive the
+// link, batch, and mailbox paths are built on.
+func (e *Engine) AtCall(t Tick, fn func(int32), arg int32) Event {
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t Tick, fn func(), fnc func(int32), arg int32) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at t=%d before now=%d", t, e.now))
 	}
@@ -157,6 +177,8 @@ func (e *Engine) At(t Tick, fn func()) Event {
 	n.at = t
 	n.seq = e.nextSeq
 	n.fn = fn
+	n.fnc = fnc
+	n.arg = arg
 	e.nextSeq++
 	if t-e.now < ringHorizon {
 		slot := int(t & ringMask)
@@ -204,6 +226,7 @@ func (e *Engine) Cancel(ev Event) {
 		return
 	}
 	n.fn = nil
+	n.fnc = nil
 	n.sta = stateCancelled
 	e.free = append(e.free, ev.id)
 }
@@ -270,11 +293,27 @@ func (e *Engine) fire(id int32) {
 	if e.limit != 0 && e.fired > e.limit {
 		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.limit, e.now))
 	}
-	fn := n.fn
+	fn, fnc, arg := n.fn, n.fnc, n.arg
 	n.fn = nil
+	n.fnc = nil
 	n.sta = stateFired
 	e.free = append(e.free, id)
+	if fnc != nil {
+		fnc(arg)
+		return
+	}
 	fn()
+}
+
+// NextTime returns the timestamp of the earliest pending event. ok is false
+// when the queue is empty. The sharded engine uses it to pick each
+// conservative window's start without disturbing the queue.
+func (e *Engine) NextTime() (Tick, bool) {
+	id, ok := e.findNext()
+	if !ok {
+		return 0, false
+	}
+	return e.arena[id].at, true
 }
 
 // Step fires the single earliest event. It reports false when the queue is

@@ -1,0 +1,417 @@
+// Sharded conservative-time-window execution (classic PDES with lookahead).
+//
+// A ShardedEngine runs N Engine shards in lockstep windows [T, T+W): T is
+// the global minimum pending-event time and W is the minimum latency of any
+// cross-shard message. Because every interaction between components on
+// different shards is carried by a mailbox message whose delivery time is at
+// least W past its send time, events inside one window cannot causally
+// affect another shard within the same window — each shard may run its slice
+// of the window independently. At the barrier the messages generated during
+// the window are merged in a deterministic, shard-count-independent order
+// ((deliverAt, port, seq)) and injected as token events on their destination
+// shards.
+//
+// Determinism across shard counts is the design invariant: a message is
+// always sent in the same window (event times do not depend on sharding),
+// always injected at the barrier closing that window, and always ordered by
+// the same key — so the token-event sequence each component observes is
+// identical whether its peers share its engine or run three shards away.
+// That is what lets the figure harness pick any shard count and produce
+// byte-identical tables. The price is that messages between co-sharded
+// components also ride the mailbox: delivery order must not depend on
+// placement.
+//
+// All mailbox structures are pooled: outboxes are rings reset at each
+// barrier, inbox slots and their address buffers recycle through free lists,
+// so steady-state cross-shard messaging performs no heap allocation.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Payload is the fixed-size value part of a cross-shard message. The field
+// meanings are defined by the communicating components (the sim layer only
+// moves them); Addrs spans ride separately in the envelope.
+type Payload struct {
+	Kind uint16
+	Tag  uint8
+	Flag uint8
+	U0   int32
+	U1   int32
+	A    uint64
+	B    uint64
+}
+
+// Envelope is one mailbox message as seen by the destination handler. Addrs
+// aliases a pooled buffer owned by the inbox slot: handlers must copy
+// anything they keep past return.
+type Envelope struct {
+	At       Tick
+	Port     int32 // sending link id: the deterministic ordering key
+	Seq      uint32
+	Endpoint int32 // destination component id (engine-layer routing)
+	P        Payload
+	Addrs    []uint64
+}
+
+// outMsg is an envelope staged in a sender's outbox, its addrs span still
+// referencing the outbox arena.
+type outMsg struct {
+	env      Envelope
+	dstShard int32
+	aOff     int32
+	aLen     int32
+}
+
+// outbox is one shard's staging area for the current window. Single writer
+// (the owning shard's goroutine); drained by the coordinator at the barrier.
+type outbox struct {
+	msgs  []outMsg
+	arena []uint64
+}
+
+// inSlot is a pooled delivery record on the destination shard.
+type inSlot struct {
+	env   Envelope
+	addrs []uint64
+}
+
+// inbox holds the pending deliveries of one shard.
+type inbox struct {
+	slots []inSlot
+	free  []int32
+	inUse int
+}
+
+// Outbox is the sender-side handle links bind to.
+type Outbox struct {
+	se    *ShardedEngine
+	shard int32
+}
+
+// ShardedEngine coordinates N shards. Shard 0..N-1 each own an Engine;
+// construction wiring decides which components live where.
+type ShardedEngine struct {
+	shards  []*Engine
+	deliver func(Envelope) // engine-layer dispatch; runs on the dst shard
+	barrier func(at Tick)  // engine-layer bookkeeping between windows
+	window  Tick
+
+	out     []outbox
+	in      []inbox
+	thunks  []func(int32) // per-shard delivery thunk for AtCall
+	portSeq []uint32
+	curEnd  Tick // current window end; Post asserts deliveries land beyond it
+
+	merged    []int // indices into gather, reused
+	gather    []outMsg
+	gatherSrc []int32 // source shard per gathered message (arena lookup)
+
+	// persistent window workers (only for >1 shard)
+	workCh []chan Tick
+	doneCh chan int
+
+	nextAt []Tick // per-shard next event time, refreshed once per window
+}
+
+// NewSharded builds a sharded engine. window must be a positive lower bound
+// on every cross-shard message latency; shards must be >= 1.
+func NewSharded(shards int, window Tick) *ShardedEngine {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards", shards))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: NewSharded with window %d", window))
+	}
+	se := &ShardedEngine{
+		shards: make([]*Engine, shards),
+		window: window,
+		out:    make([]outbox, shards),
+		in:     make([]inbox, shards),
+		thunks: make([]func(int32), shards),
+	}
+	for i := range se.shards {
+		se.shards[i] = NewEngine()
+		shard := int32(i)
+		se.thunks[i] = func(slot int32) { se.fireSlot(shard, slot) }
+	}
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard returns shard i's engine; components constructed on that shard use
+// it for all their local scheduling.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Window returns the conservative lookahead in ticks.
+func (se *ShardedEngine) Window() Tick { return se.window }
+
+// Outbox returns the mailbox handle for senders living on shard i.
+func (se *ShardedEngine) Outbox(i int) *Outbox {
+	return &Outbox{se: se, shard: int32(i)}
+}
+
+// SetDeliver installs the message dispatcher. It is invoked on the
+// destination shard's goroutine at each message's delivery time and must
+// only touch state owned by the destination component's group.
+func (se *ShardedEngine) SetDeliver(fn func(Envelope)) { se.deliver = fn }
+
+// SetBarrier installs a hook run between windows (single-goroutine, after
+// all shards have joined and messages have been injected). The argument is
+// the closing window's end time. Cross-group bookkeeping — access-count
+// merging, page-management epochs — belongs here.
+func (se *ShardedEngine) SetBarrier(fn func(at Tick)) { se.barrier = fn }
+
+// NewPort allocates a global port id. Ports identify sending links; the
+// merge at each barrier orders messages by (deliverAt, port, seq), so port
+// ids must be assigned in a construction order that does not depend on the
+// shard count. Each port belongs to exactly one sending component — only
+// that component's shard may Post on it (the per-port sequence counter has
+// a single writer by this contract).
+func (se *ShardedEngine) NewPort() int32 {
+	se.portSeq = append(se.portSeq, 0)
+	return int32(len(se.portSeq) - 1)
+}
+
+// Post stages a message for delivery. Only the owning shard's goroutine may
+// call it (links bound to this outbox are owned by that shard). addrs is
+// copied into the outbox arena and may be reused immediately.
+func (ob *Outbox) Post(port int32, dstShard, dstEndpoint int32, at Tick, p Payload, addrs []uint64) {
+	se := ob.se
+	if at <= se.curEnd {
+		panic(fmt.Sprintf("sim: message on port %d delivered at %d inside the current window ending %d — lookahead violated", port, at, se.curEnd))
+	}
+	o := &se.out[ob.shard]
+	off := int32(len(o.arena))
+	o.arena = append(o.arena, addrs...)
+	seq := se.portSeq[port]
+	se.portSeq[port] = seq + 1
+	o.msgs = append(o.msgs, outMsg{
+		env:      Envelope{At: at, Port: port, Seq: seq, Endpoint: dstEndpoint, P: p},
+		dstShard: dstShard,
+		aOff:     off,
+		aLen:     int32(len(addrs)),
+	})
+}
+
+// fireSlot delivers one injected message on its destination shard and
+// recycles the slot.
+func (se *ShardedEngine) fireSlot(shard, slot int32) {
+	in := &se.in[shard]
+	s := &in.slots[slot]
+	env := s.env
+	env.Addrs = s.addrs
+	se.deliver(env)
+	s.addrs = s.addrs[:0]
+	in.free = append(in.free, slot)
+	in.inUse--
+}
+
+// inject schedules one merged message as a token event on its destination
+// shard.
+func (se *ShardedEngine) inject(m *outMsg, srcArena []uint64) {
+	in := &se.in[m.dstShard]
+	var slot int32
+	if n := len(in.free); n > 0 {
+		slot = in.free[n-1]
+		in.free = in.free[:n-1]
+	} else {
+		in.slots = append(in.slots, inSlot{})
+		slot = int32(len(in.slots) - 1)
+	}
+	s := &in.slots[slot]
+	s.env = m.env
+	s.addrs = append(s.addrs[:0], srcArena[m.aOff:m.aOff+m.aLen]...)
+	in.inUse++
+	se.shards[m.dstShard].AtCall(m.env.At, se.thunks[m.dstShard], slot)
+}
+
+// mergeSorter orders the gathered messages by (At, Port, Seq) — a key that
+// depends only on simulated time and construction-ordered port ids, never on
+// shard placement.
+type mergeSorter struct{ se *ShardedEngine }
+
+func (ms mergeSorter) Len() int { return len(ms.se.merged) }
+func (ms mergeSorter) Less(i, j int) bool {
+	a := &ms.se.gather[ms.se.merged[i]].env
+	b := &ms.se.gather[ms.se.merged[j]].env
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Port != b.Port {
+		return a.Port < b.Port
+	}
+	return a.Seq < b.Seq
+}
+func (ms mergeSorter) Swap(i, j int) {
+	ms.se.merged[i], ms.se.merged[j] = ms.se.merged[j], ms.se.merged[i]
+}
+
+// exchange drains every outbox, merges deterministically, and injects.
+// gather keeps per-message arena provenance via shard-ordered concatenation.
+func (se *ShardedEngine) exchange() {
+	se.gather = se.gather[:0]
+	se.merged = se.merged[:0]
+	for i := range se.out {
+		o := &se.out[i]
+		for j := range o.msgs {
+			se.gather = append(se.gather, o.msgs[j])
+			se.merged = append(se.merged, len(se.gather)-1)
+			se.gatherSrc = append(se.gatherSrc, int32(i))
+		}
+	}
+	sort.Sort(mergeSorter{se})
+	for _, gi := range se.merged {
+		se.inject(&se.gather[gi], se.out[se.gatherSrc[gi]].arena)
+	}
+	se.gatherSrc = se.gatherSrc[:0]
+	for i := range se.out {
+		se.out[i].msgs = se.out[i].msgs[:0]
+		se.out[i].arena = se.out[i].arena[:0]
+	}
+}
+
+// PendingMessages reports staged-but-undelivered messages (outboxes plus
+// inbox slots whose events have not fired) — for leak tests.
+func (se *ShardedEngine) PendingMessages() int {
+	n := 0
+	for i := range se.out {
+		n += len(se.out[i].msgs)
+	}
+	for i := range se.in {
+		n += se.in[i].inUse
+	}
+	return n
+}
+
+// InboxCapacity returns the total inbox slots ever allocated on a shard —
+// steady-state traffic must stop growing it (reuse tests).
+func (se *ShardedEngine) InboxCapacity(shard int) int { return len(se.in[shard].slots) }
+
+// startWorkers launches one persistent goroutine per shard beyond the
+// coordinator-run shard. Workers block on their channel between windows.
+func (se *ShardedEngine) startWorkers() {
+	if len(se.shards) == 1 || se.workCh != nil {
+		return
+	}
+	se.workCh = make([]chan Tick, len(se.shards))
+	se.doneCh = make(chan int, len(se.shards))
+	for i := 1; i < len(se.shards); i++ {
+		ch := make(chan Tick, 1)
+		se.workCh[i] = ch
+		eng := se.shards[i]
+		go func(id int) {
+			for deadline := range ch {
+				eng.RunUntil(deadline)
+				se.doneCh <- id
+			}
+		}(i)
+	}
+}
+
+func (se *ShardedEngine) stopWorkers() {
+	if se.workCh == nil {
+		return
+	}
+	for i := 1; i < len(se.workCh); i++ {
+		close(se.workCh[i])
+	}
+	se.workCh = nil
+	se.doneCh = nil
+}
+
+// Run advances windows until every shard drains and no messages remain, and
+// returns the final simulation time (the maximum across shards).
+func (se *ShardedEngine) Run() Tick {
+	if se.deliver == nil {
+		panic("sim: ShardedEngine.Run without SetDeliver")
+	}
+	multi := len(se.shards) > 1 && runtime.GOMAXPROCS(0) > 1
+	if multi {
+		se.startWorkers()
+		defer se.stopWorkers()
+	}
+	// Inject anything staged before Run (e.g. the initial workload pump
+	// posts messages outside any window).
+	se.exchange()
+	if se.nextAt == nil {
+		se.nextAt = make([]Tick, len(se.shards))
+	}
+	var end Tick
+	for {
+		// One queue scan per shard per window: everything below (window
+		// start, active set, dispatch) derives from this snapshot.
+		t := MaxTick
+		for i, sh := range se.shards {
+			nt, ok := sh.NextTime()
+			if !ok {
+				nt = MaxTick
+			}
+			se.nextAt[i] = nt
+			if nt < t {
+				t = nt
+			}
+		}
+		if t == MaxTick {
+			break
+		}
+		winEnd := t + se.window
+		se.curEnd = winEnd - 1
+		if multi {
+			// Count the shards with work this window; a lone active shard
+			// runs on the coordinator (workers idle — no handoff cost, and
+			// any shard's state is safely coordinator-run while they wait).
+			active, last := 0, -1
+			for i := range se.shards {
+				if se.nextAt[i] <= winEnd-1 {
+					active++
+					last = i
+				}
+			}
+			if active == 1 {
+				se.shards[last].RunUntil(winEnd - 1)
+			} else if active > 1 {
+				// Shard 0 runs on the coordinator goroutine; shards 1..N-1
+				// have persistent workers, dispatched first so they overlap
+				// with the inline run.
+				dispatched := 0
+				for i := 1; i < len(se.shards); i++ {
+					if se.nextAt[i] <= winEnd-1 {
+						se.workCh[i] <- winEnd - 1
+						dispatched++
+					}
+				}
+				if se.nextAt[0] <= winEnd-1 {
+					se.shards[0].RunUntil(winEnd - 1)
+				}
+				for ; dispatched > 0; dispatched-- {
+					<-se.doneCh
+				}
+			}
+		} else {
+			for i, sh := range se.shards {
+				if se.nextAt[i] <= winEnd-1 {
+					sh.RunUntil(winEnd - 1)
+				}
+			}
+		}
+		se.exchange()
+		if se.barrier != nil {
+			se.barrier(winEnd)
+		}
+		if winEnd > end {
+			end = winEnd
+		}
+	}
+	for _, sh := range se.shards {
+		if sh.Now() > end {
+			end = sh.Now()
+		}
+	}
+	return end
+}

@@ -1,13 +1,14 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_2.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_3.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
-// path allocation behavior, figure wall-clocks, vectorized-math kernels).
-// It only runs when explicitly requested, because it spends bench time:
+// path allocation behavior, sharded-kernel scaling, figure wall-clocks,
+// vectorized-math kernels). It only runs when explicitly requested, because
+// it spends bench time:
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_2.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_3.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
@@ -52,6 +53,12 @@ type benchSnapshot struct {
 	Vecmath          map[string]benchLine `json:"vecmath"`
 	FigureWallMs     map[string]float64   `json:"figure_wall_ms"`
 	SimNsPerBag      map[string]float64   `json:"sim_ns_per_bag"`
+	// ShardedWallMs is a Fig 13a-class single configuration (PIFS-Rec,
+	// Zipfian, 8 devices, short epochs) run at increasing shard counts;
+	// tables are byte-identical across rows, so the ratios are pure
+	// wall-clock scaling. Meaningful only when GOMAXPROCS covers the shard
+	// count.
+	ShardedWallMs map[string]float64 `json:"sharded_wall_ms"`
 }
 
 func toLine(r testing.BenchmarkResult) benchLine {
@@ -83,7 +90,7 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 
 	var snap benchSnapshot
-	snap.PR = 2
+	snap.PR = 3
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -153,13 +160,40 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		snap.SimNsPerBag[string(s)] = res.NSPerBag
 	}
 
+	// Sharded-kernel scaling on a Fig 13a-class single configuration.
+	snap.ShardedWallMs = map[string]float64{}
+	bigTr, err := trace.Generate(trace.Spec{
+		Kind: trace.Zipfian, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 6, BatchSize: 4, BagSize: 32, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, n := range counts {
+		n := n
+		r := testing.Benchmark(func(b *testing.B) {
+			cfg := engine.Config{Scheme: engine.PIFSRec, Model: m, Trace: bigTr,
+				Seed: 3, Devices: 8, EpochBags: 16, Shards: n}
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snap.ShardedWallMs[fmt.Sprintf("shards=%d", n)] = float64(r.NsPerOp()) / 1e6
+	}
+
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_2.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_3.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_2.json: %.1fM events/sec, request path %d allocs/op\n",
+	fmt.Printf("wrote BENCH_3.json: %.1fM events/sec, request path %d allocs/op\n",
 		snap.EventKernel.EventsPerSec/1e6, snap.RequestPath.AllocsPerOp)
 }
