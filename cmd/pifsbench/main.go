@@ -14,12 +14,23 @@ import (
 	"os"
 
 	"pifsrec/internal/harness"
+	"pifsrec/internal/numasim"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	model := flag.String("model", string(numasim.ModelAnalytic),
+		"numasim implementation for fig5/fig6: analytic (closed form) or event (component simulation; see numasim-parity)")
 	flag.Parse()
+
+	switch numasim.Model(*model) {
+	case numasim.ModelAnalytic, numasim.ModelEvent:
+		harness.SetNumasimModel(numasim.Model(*model))
+	default:
+		fmt.Fprintf(os.Stderr, "pifsbench: unknown -model %q (have %v)\n", *model, numasim.NumasimModels())
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range harness.IDs() {

@@ -26,8 +26,21 @@ func main() {
 	switches := flag.Int("switches", 1, "fabric switches (PIFS-Rec only)")
 	hosts := flag.Int("hosts", 1, "concurrent hosts")
 	buffer := flag.Int("buffer", 512<<10, "on-switch buffer bytes (PIFS-Rec)")
-	shards := flag.Int("shards", 1, "engine shards (conservative-window intra-sim parallelism; results are identical at any count)")
+	shards := flag.Int("shards", 1, "engine shards (conservative-window intra-sim parallelism; results are identical at any count and placement)")
 	flag.Parse()
+
+	// Shards outside [1, component groups] buy nothing and usually mean a
+	// typo'd flag — reject with the actual bound instead of silently
+	// clamping. The bound comes from the engine's own defaulting
+	// (Config.ComponentGroups), so zero-valued flags count what the run
+	// will really assemble.
+	bound := pifsrec.Config{Hosts: *hosts, Switches: *switches, Devices: *devices}
+	if groups := bound.ComponentGroups(); *shards < 1 || *shards > groups {
+		fmt.Fprintf(os.Stderr,
+			"pifssim: -shards %d outside [1, %d]: the configuration has %d component groups (hosts + switches + devices after defaulting)\n",
+			*shards, groups, groups)
+		os.Exit(2)
+	}
 
 	var m pifsrec.ModelConfig
 	found := false

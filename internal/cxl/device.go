@@ -12,6 +12,8 @@ import (
 // as multiple line accesses by callers. The device adds the CXL controller's
 // share of the access penalty on top of raw DRAM service time.
 type Type3Device struct {
+	sim.NoWindowHooks
+
 	// ID is the device index within its pool; PortID is the fabric port the
 	// device is bound to (its cacheID when recognized by the FM endpoint).
 	ID     int
@@ -28,6 +30,8 @@ type Type3Device struct {
 	reply    *Link
 	vecBytes int
 	fnDone   func(int32, sim.Tick)
+
+	group int32 // placement group (sim.Component)
 
 	stats DeviceStats
 }
@@ -58,6 +62,9 @@ type DeviceConfig struct {
 	// when zero is half the CXL access penalty (the other half is paid in
 	// the link path's port overheads).
 	CtrlNS sim.Tick
+	// Group is the placement group the device (and its DRAM channel banks)
+	// lives on in a sharded simulation.
+	Group int32
 }
 
 // NewType3 builds a memory expander device.
@@ -66,13 +73,29 @@ func NewType3(eng *sim.Engine, cfg DeviceConfig) *Type3Device {
 	if ctrl == 0 {
 		ctrl = AccessPenaltyNS / 2
 	}
+	ctl := dram.NewController(eng, cfg.Geometry, cfg.Timing)
+	ctl.SetGroup(cfg.Group)
 	return &Type3Device{
 		ID:     cfg.ID,
 		PortID: cfg.PortID,
-		ctl:    dram.NewController(eng, cfg.Geometry, cfg.Timing),
+		ctl:    ctl,
 		ctrlNS: ctrl,
+		group:  cfg.Group,
 	}
 }
+
+// ComponentGroup returns the device's placement group (sim.Component).
+func (d *Type3Device) ComponentGroup() int32 { return d.group }
+
+// CostWeight is the device front-end's static placement weight. The DRAM
+// channel banks carry their own weights (registered as aux components), so
+// a device group's seed is front-end + banks — the cost-balanced
+// bin-packing sees memory nodes as the heavy groups they are.
+func (d *Type3Device) CostWeight() float64 { return 1 }
+
+// Banks exposes the device's DRAM channel banks as placement-cost
+// components (registered aux so per-bank load is attributable).
+func (d *Type3Device) Banks() []*dram.ChannelBank { return d.ctl.Banks() }
 
 // Capacity returns the device's byte capacity.
 func (d *Type3Device) Capacity() int64 { return d.ctl.Geometry().Capacity() }

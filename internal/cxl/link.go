@@ -40,12 +40,12 @@ const (
 //
 // A link operates in one of two delivery modes. The legacy closure mode
 // (Send) schedules the deliver callback on the link's own engine — fine when
-// both endpoints share a shard. The mailbox mode (Bind + SendMsg) posts a
-// value-typed message to the destination shard instead: the link's state
-// (freeAt, stats) is owned by the sending component's shard, and delivery
-// order across shards is fixed by the sharded engine's (time, port, seq)
-// merge. The system simulation uses mailbox mode exclusively so results do
-// not depend on how components are packed onto shards.
+// both endpoints share a placement group. The mailbox mode (Bind + SendMsg)
+// posts a value-typed message to the destination group instead: the link's
+// state (freeAt, stats) is owned by the sending component's group, and
+// delivery order across groups is fixed by the sharded engine's (time, port,
+// seq) merge. The system simulation uses mailbox mode exclusively so results
+// do not depend on how groups are placed onto workers.
 type Link struct {
 	eng        *sim.Engine
 	name       string
@@ -56,7 +56,7 @@ type Link struct {
 	// mailbox mode wiring (nil out = closure mode only)
 	out         *sim.Outbox
 	port        int32
-	dstShard    int32
+	dstGroup    int32
 	dstEndpoint int32
 
 	stats LinkStats
@@ -112,12 +112,13 @@ func (l *Link) Send(bytes int, deliver func(at sim.Tick)) sim.Tick {
 }
 
 // Bind switches the link into mailbox mode: SendMsg posts to out with the
-// given port id, destined for dstEndpoint on dstShard. Call once at wiring
-// time, from the construction path that also fixes port numbering.
-func (l *Link) Bind(out *sim.Outbox, port, dstShard, dstEndpoint int32) {
+// given port id, destined for dstEndpoint in placement group dstGroup. Call
+// once at wiring time, from the construction path that also fixes port
+// numbering.
+func (l *Link) Bind(out *sim.Outbox, port, dstGroup, dstEndpoint int32) {
 	l.out = out
 	l.port = port
-	l.dstShard = dstShard
+	l.dstGroup = dstGroup
 	l.dstEndpoint = dstEndpoint
 }
 
@@ -129,7 +130,7 @@ func (l *Link) SendMsg(bytes int, p sim.Payload, addrs []uint64) sim.Tick {
 		panic(fmt.Sprintf("cxl: link %s SendMsg without Bind", l.name))
 	}
 	arrive := l.occupy(bytes)
-	l.out.Post(l.port, l.dstShard, l.dstEndpoint, arrive, p, addrs)
+	l.out.Post(l.port, l.dstGroup, l.dstEndpoint, arrive, p, addrs)
 	return arrive
 }
 

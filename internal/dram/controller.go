@@ -52,20 +52,24 @@ func (s Stats) MeanQueueDelayNS() float64 {
 }
 
 // Controller models one memory node: a set of channels, each with its own
-// bank array and FR-FCFS scheduler. It is not safe for concurrent use; all
-// interaction happens on the simulation goroutine.
+// bank array, FR-FCFS scheduler, request arena, and statistics — the
+// channel loop is fully self-contained per bank, which is what lets each
+// channel surface as a separate placement-cost component (ChannelBank) and
+// keeps a future per-bank engine split a wiring change rather than a
+// rewrite. It is not safe for concurrent use; all interaction happens on
+// the owning group's engine.
 type Controller struct {
 	eng   *sim.Engine
 	geo   Geometry
 	tim   Timing
 	chans []*channel
-	stats Stats
+	group int32
 
-	// Pooled request arena plus batch slots; both recycle via free lists.
-	reqs        []request
-	freeReqs    []int32
+	// Pooled batch slots (a batch may span channels); recycle via free list.
 	batches     []batchState
 	freeBatches []int32
+
+	banks []*ChannelBank
 }
 
 // NewController builds a controller. It panics on invalid configuration:
@@ -92,8 +96,67 @@ func (c *Controller) Geometry() Geometry { return c.geo }
 // Timing returns the device timing set.
 func (c *Controller) Timing() Timing { return c.tim }
 
-// Stats returns a snapshot of accumulated statistics.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats aggregates the per-channel statistics into the controller view.
+func (c *Controller) Stats() Stats {
+	var s Stats
+	for _, ch := range c.chans {
+		s.Reads += ch.stats.Reads
+		s.Writes += ch.stats.Writes
+		s.RowHits += ch.stats.RowHits
+		s.RowMisses += ch.stats.RowMisses
+		s.BytesMoved += ch.stats.BytesMoved
+		s.QueueDelay += ch.stats.QueueDelay
+	}
+	return s
+}
+
+// SetGroup records the placement group the controller's channel banks
+// report (sim.Component); call at construction, before Banks.
+func (c *Controller) SetGroup(g int32) { c.group = g }
+
+// Banks returns the controller's channels as placement-cost components, one
+// per channel bank, built on first use.
+func (c *Controller) Banks() []*ChannelBank {
+	if c.banks == nil {
+		c.banks = make([]*ChannelBank, len(c.chans))
+		for i, ch := range c.chans {
+			c.banks[i] = &ChannelBank{ch: ch}
+		}
+	}
+	return c.banks
+}
+
+// ChannelBank exposes one DRAM channel as a sim.Component for the
+// cost-balanced placement: banks never receive mailbox messages (the
+// channel loop is driven by its owner through shared state, so a bank
+// always co-locates with its controller's group), but each contributes its
+// static weight to the group seed and reports its measured service load, so
+// the bin-packing sees a 12-channel socket as three times the cost of a
+// 4-channel expander instead of dealing groups round-robin.
+type ChannelBank struct {
+	sim.NoWindowHooks
+	ch *channel
+}
+
+// Channel returns the bank's channel index within its controller.
+func (b *ChannelBank) Channel() int { return b.ch.idx }
+
+// ComponentGroup returns the owning controller's placement group.
+func (b *ChannelBank) ComponentGroup() int32 { return b.ch.ctl.group }
+
+// CostWeight scales with the channel's peak bandwidth, so DDR5 banks weigh
+// more than DDR4 banks and a group's seed tracks its real service capacity.
+func (b *ChannelBank) CostWeight() float64 {
+	return b.ch.ctl.tim.PeakBandwidthGBs() / 16
+}
+
+// HandleMsg panics: channel banks are cost components, not endpoints.
+func (b *ChannelBank) HandleMsg(sim.Envelope) {
+	panic(fmt.Sprintf("dram: channel bank %d is not a message endpoint", b.ch.idx))
+}
+
+// Stats returns this bank's own counters.
+func (b *ChannelBank) Stats() Stats { return b.ch.stats }
 
 // Submit queues a single line request. The request's Done callback is
 // required. Internally this is a batch of one line, so single and batched
@@ -106,19 +169,15 @@ func (c *Controller) Submit(r *Request) {
 	c.enqueueLine(r.Addr, r.IsWrite, batch)
 }
 
-// allocReq returns a recycled (or freshly grown) request arena slot.
-func (c *Controller) allocReq() int32 {
-	if n := len(c.freeReqs); n > 0 {
-		id := c.freeReqs[n-1]
-		c.freeReqs = c.freeReqs[:n-1]
-		return id
+// ArenaSize returns the total request arena capacity across channels (for
+// reuse/leak tests).
+func (c *Controller) ArenaSize() int {
+	n := 0
+	for _, ch := range c.chans {
+		n += len(ch.reqs)
 	}
-	c.reqs = append(c.reqs, request{})
-	return int32(len(c.reqs) - 1)
+	return n
 }
-
-// ArenaSize returns the request arena capacity (for reuse/leak tests).
-func (c *Controller) ArenaSize() int { return len(c.reqs) }
 
 // QueuedRequests returns the number of lines waiting in channel queues.
 func (c *Controller) QueuedRequests() int {
@@ -130,15 +189,18 @@ func (c *Controller) QueuedRequests() int {
 }
 
 // enqueueLine places one line request of a batch into its channel's queue.
+// Allocation is channel-local: each bank owns its arena.
 func (c *Controller) enqueueLine(addr uint64, write bool, batch int32) {
-	id := c.allocReq()
-	rq := &c.reqs[id]
+	loc := c.geo.Map(addr)
+	ch := c.chans[loc.Channel]
+	id := ch.allocReq()
+	rq := &ch.reqs[id]
 	rq.addr = addr
 	rq.write = write
 	rq.submit = c.eng.Now()
 	rq.batch = batch
-	rq.loc = c.geo.Map(addr)
-	c.chans[rq.loc.Channel].enqueue(id)
+	rq.loc = loc
+	ch.enqueue(id)
 }
 
 // PeakBandwidthGBs returns the node's aggregate theoretical bandwidth.
@@ -163,8 +225,13 @@ type bank struct {
 	actReadyAt sim.Tick
 }
 
+// channel is one self-contained bank loop: its own engine handle, request
+// arena, queue, scheduler state, and statistics. The only controller-level
+// state it touches is the shared batch table (a batch's lines may span
+// channels), so a bank always runs in its controller's placement group.
 type channel struct {
 	ctl     *Controller
+	eng     *sim.Engine // the owning group's engine (per-bank handle)
 	idx     int
 	banks   []bank
 	rankAct []sim.Tick // per-rank earliest next activate (tRRD)
@@ -175,6 +242,12 @@ type channel struct {
 	// it keeps the kick path allocation-free.
 	serviceThunk func()
 
+	// Pooled channel-local request arena with free-list recycling.
+	reqs     []request
+	freeReqs []int32
+
+	stats Stats
+
 	// precomputed timing in ns
 	cl, rcd, rp, ras, rc, wr, rtp, cwl, rrd, burst sim.Tick
 	refi, rfc                                      sim.Tick
@@ -184,6 +257,7 @@ func newChannel(c *Controller, idx int) *channel {
 	t := c.tim
 	ch := &channel{
 		ctl:     c,
+		eng:     c.eng,
 		idx:     idx,
 		banks:   make([]bank, c.geo.TotalBanks()),
 		rankAct: make([]sim.Tick, c.geo.Ranks),
@@ -203,9 +277,20 @@ func newChannel(c *Controller, idx int) *channel {
 	return ch
 }
 
+// allocReq returns a recycled (or freshly grown) arena slot of this channel.
+func (ch *channel) allocReq() int32 {
+	if n := len(ch.freeReqs); n > 0 {
+		id := ch.freeReqs[n-1]
+		ch.freeReqs = ch.freeReqs[:n-1]
+		return id
+	}
+	ch.reqs = append(ch.reqs, request{})
+	return int32(len(ch.reqs) - 1)
+}
+
 func (ch *channel) enqueue(id int32) {
 	ch.q.push(id)
-	ch.kick(ch.ctl.eng.Now())
+	ch.kick(ch.eng.Now())
 }
 
 func (ch *channel) kick(at sim.Tick) {
@@ -213,7 +298,7 @@ func (ch *channel) kick(at sim.Tick) {
 		return
 	}
 	ch.kicked = true
-	ch.ctl.eng.At(at, ch.serviceThunk)
+	ch.eng.At(at, ch.serviceThunk)
 }
 
 // refreshAdjust pushes t past any refresh window it falls into. Refresh is
@@ -238,7 +323,7 @@ func (ch *channel) refreshAdjust(t sim.Tick) sim.Tick {
 // which is where bank-level parallelism comes from. Each issued line's arena
 // slot is recycled immediately; completion is accounted on the line's batch.
 func (ch *channel) service() {
-	now := ch.ctl.eng.Now()
+	now := ch.eng.Now()
 	for ch.q.n > 0 {
 		// Back-pressure: when the data bus is booked out past the lookahead
 		// window, resume once it drains back inside it.
@@ -250,10 +335,10 @@ func (ch *channel) service() {
 		pick := ch.pick(now)
 		id := ch.q.at(pick)
 		ch.q.removeAt(pick)
-		rq := &ch.ctl.reqs[id]
+		rq := &ch.reqs[id]
 
 		cmdAt, doneAt := ch.issue(rq, now)
-		st := &ch.ctl.stats
+		st := &ch.stats
 		st.BytesMoved += accessBytes
 		st.QueueDelay += cmdAt - rq.submit
 		if rq.write {
@@ -262,7 +347,7 @@ func (ch *channel) service() {
 			st.Reads++
 		}
 		batch := rq.batch
-		ch.ctl.freeReqs = append(ch.ctl.freeReqs, id)
+		ch.freeReqs = append(ch.freeReqs, id)
 		ch.ctl.lineIssued(batch, doneAt)
 	}
 }
@@ -276,7 +361,7 @@ const starveNS = 200
 // The head of the queue is served unconditionally once it has aged past
 // starveNS, so row-hit streams cannot starve other banks.
 func (ch *channel) pick(now sim.Tick) int {
-	reqs := ch.ctl.reqs
+	reqs := ch.reqs
 	if now-reqs[ch.q.at(0)].submit > starveNS {
 		return 0
 	}
@@ -309,7 +394,7 @@ func (ch *channel) pick(now sim.Tick) int {
 func (ch *channel) issue(r *request, now sim.Tick) (cmdAt, doneAt sim.Tick) {
 	g := ch.ctl.geo
 	b := &ch.banks[g.bankIndex(r.loc)]
-	st := &ch.ctl.stats
+	st := &ch.stats
 
 	if b.openRow != r.loc.Row {
 		st.RowMisses++

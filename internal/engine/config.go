@@ -56,12 +56,20 @@ type Config struct {
 	// Hosts is the number of concurrent hosts (default 1; Fig 14 sweeps).
 	Hosts int
 
-	// Shards is the number of engine shards the simulation runs on
-	// (default 1). Hosts, switches, and devices are dealt round-robin onto
-	// shards and advance in conservative time windows bounded by the
-	// minimum CXL link latency, so a big configuration scales across cores.
-	// Results are byte-identical at every shard count.
+	// Shards is the number of parallel engine workers the simulation runs
+	// on (default 1). Hosts, switches, and devices are component groups
+	// placed onto workers by greedy cost-balanced bin-packing (static
+	// weights refined by measured per-window event counts) and advance in
+	// conservative time windows bounded by the minimum CXL link latency, so
+	// a big configuration scales across cores. Results are byte-identical
+	// at every shard count and under every placement.
 	Shards int
+
+	// Placement overrides the default cost-balanced dynamic placement with
+	// a static policy (groups -> workers). Placement is pure scheduling —
+	// results never depend on it; the property tests exploit this field to
+	// prove it. Nil selects the default.
+	Placement sim.PlacementPolicy
 
 	// LocalFraction is the share of the embedding footprint that fits in
 	// local DRAM (stand-in for the paper's fixed 128 GB against multi-TB
@@ -99,6 +107,32 @@ type Config struct {
 	Seed uint64
 }
 
+// ComponentGroups returns the number of placement groups the configuration
+// assembles — hosts + switches + devices after defaulting — which is the
+// largest Shards value that buys any parallelism. CLI front-ends and the
+// harness runner reject requests outside [1, ComponentGroups].
+func (c Config) ComponentGroups() int {
+	h, s, d := defaultCounts(c.Hosts, c.Switches, c.Devices)
+	return h + s + d
+}
+
+// defaultCounts resolves zero host/switch/device counts to their defaults —
+// the single source fillDefaults and ComponentGroups share, so the shard
+// bound can be computed without a full, trace-bearing config.
+func defaultCounts(hosts, switches, devices int) (h, s, d int) {
+	h, s, d = hosts, switches, devices
+	if h == 0 {
+		h = 1
+	}
+	if s == 0 {
+		s = 1
+	}
+	if d == 0 {
+		d = 4
+	}
+	return h, s, d
+}
+
 // fillDefaults resolves zero values and scheme-implied settings.
 func (c *Config) fillDefaults() error {
 	if c.Trace == nil {
@@ -112,20 +146,12 @@ func (c *Config) fillDefaults() error {
 	default:
 		return fmt.Errorf("engine: unknown scheme %q", c.Scheme)
 	}
-	if c.Devices == 0 {
-		c.Devices = 4
-	}
-	if c.Switches == 0 {
-		c.Switches = 1
-	}
+	c.Hosts, c.Switches, c.Devices = defaultCounts(c.Hosts, c.Switches, c.Devices)
 	if c.Switches > 1 && c.Scheme != PIFSRec {
 		return fmt.Errorf("engine: scheme %s does not support %d switches", c.Scheme, c.Switches)
 	}
 	if c.Switches > c.Devices {
 		return fmt.Errorf("engine: %d switches need at least as many devices, got %d", c.Switches, c.Devices)
-	}
-	if c.Hosts == 0 {
-		c.Hosts = 1
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
@@ -181,7 +207,7 @@ type Result struct {
 	// MeanQueueDelayNS is the mean time a DRAM line request waited in a
 	// channel queue before its column command issued, aggregated over every
 	// controller in the system (host DIMMs and CXL devices).
-	MeanQueueDelayNS float64
+	MeanQueueDelayNS  float64
 	DeviceReads       []int64 // per CXL device
 	BufferHitRatio    float64
 	BufferHits        int64

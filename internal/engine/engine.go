@@ -35,13 +35,16 @@ const (
 )
 
 // system is one assembled simulation, sharded for conservative-time-window
-// execution. Components are partitioned into groups — each host with its
-// local DRAM and caches, each switch with its core and buffer, each CXL
-// device with its controller — and every group lives on exactly one engine
-// shard. Groups interact only through value-typed mailbox messages whose
-// latency is at least the window width, so a window's events on different
-// shards are causally independent; results are byte-identical at any shard
-// count, including the 1-shard reference.
+// execution over the sim Component model. Components are partitioned into
+// placement groups — each host with its local DRAM channel banks and
+// caches, each switch with its core and buffer, each CXL device with its
+// controller and banks — and every group owns a private engine the sharded
+// coordinator places onto workers by cost-balanced bin-packing (static
+// component weights refined by measured per-window event counts). Groups
+// interact only through value-typed mailbox messages whose latency is at
+// least the window width, so a window's events in different groups are
+// causally independent; results are byte-identical at any worker count and
+// under any placement, including the 1-worker reference.
 //
 // Shared state is read-mostly by construction: the layout and trace are
 // immutable, and the tier manager's placement only changes at window
@@ -76,7 +79,11 @@ type system struct {
 	epochsDone int
 }
 
-// shardCount clamps the configured shard count to the group count.
+// shardCount clamps the configured worker count to the group count —
+// placement never needs more workers than groups. The pifssim CLI and the
+// harness runner reject out-of-range requests up front; the clamp here
+// keeps programmatic sweeps (which probe deliberately oversized counts to
+// prove invariance) valid.
 func shardCount(cfg Config) int {
 	groups := cfg.Hosts + cfg.Switches + cfg.Devices
 	n := cfg.Shards
@@ -89,33 +96,13 @@ func shardCount(cfg Config) int {
 	return n
 }
 
-// Endpoint ids: hosts, then switches, then devices.
+// Endpoint ids double as placement-group ids: hosts, then switches, then
+// devices, each component alone in its group (its DRAM banks ride along as
+// aux cost components). Registration order must match.
 func (s *system) hostEndpoint(h int) int32   { return int32(h) }
 func (s *system) switchEndpoint(w int) int32 { return int32(len(s.hosts) + w) }
 func (s *system) deviceEndpoint(d int) int32 {
 	return int32(len(s.hosts) + len(s.switches) + d)
-}
-
-// shardOf maps an endpoint to its shard: groups are dealt round-robin in
-// endpoint order, a placement that depends only on the shard count.
-func (s *system) shardOf(endpoint int32) int32 {
-	return endpoint % int32(s.se.Shards())
-}
-
-// deliver dispatches one mailbox message to its destination component. It
-// runs on the destination's shard.
-func (s *system) deliver(env sim.Envelope) {
-	ep := int(env.Endpoint)
-	if ep < len(s.hosts) {
-		s.hosts[ep].handleMsg(env)
-		return
-	}
-	ep -= len(s.hosts)
-	if ep < len(s.switches) {
-		s.switches[ep].HandleMsg(env)
-		return
-	}
-	s.devs[ep-len(s.switches)].HandleMsg(env)
 }
 
 // bagRec tracks one in-flight bag on its host: the outstanding part groups
@@ -197,8 +184,41 @@ type host struct {
 	fnLocalDone func(int32, sim.Tick)
 }
 
-// handleMsg consumes switch->host messages.
-func (h *host) handleMsg(env sim.Envelope) {
+// ComponentGroup returns the host's placement group (sim.Component).
+func (h *host) ComponentGroup() int32 { return int32(h.id) }
+
+// CostWeight is the host front-end's static placement weight (bag
+// classification, accumulate datapath, snoop loop); the socket's DRAM
+// channel banks add theirs as aux components, making hosts the heaviest
+// groups — which is what the cost-balanced placement needs to see.
+func (h *host) CostWeight() float64 {
+	w := 2.0
+	if h.dimmCache != nil {
+		w++
+	}
+	return w
+}
+
+// UsesWindowHooks opts the host into barrier hooks: WindowEnd does the
+// access-record merge.
+func (h *host) UsesWindowHooks() bool { return true }
+
+// WindowStart is a no-op (sim.Component).
+func (h *host) WindowStart(sim.Tick) {}
+
+// WindowEnd merges this host's buffered access records into the tier
+// manager. Hooks run single-threaded in registration (host id) order at
+// every barrier, so the merge order — and therefore every page-management
+// decision — is identical at any worker count and placement.
+func (h *host) WindowEnd(sim.Tick) {
+	for _, a := range h.recAddrs {
+		h.sys.mgr.Record(a)
+	}
+	h.recAddrs = h.recAddrs[:0]
+}
+
+// HandleMsg consumes switch->host messages (sim.Component).
+func (h *host) HandleMsg(env sim.Envelope) {
 	switch env.P.Kind {
 	case fabric.KindRowData:
 		// One remote row vector arrived over the FlexBus (host-side
@@ -295,6 +315,14 @@ func deviceGeometry() dram.Geometry {
 func build(cfg Config) (*system, error) {
 	s := &system{cfg: cfg}
 	s.se = sim.NewSharded(shardCount(cfg), cxl.PortOverheadNS)
+	if cfg.Placement != nil {
+		s.se.SetPlacement(cfg.Placement)
+	}
+	// One placement group per host, switch, and device, in endpoint order;
+	// weights accrue as components register.
+	for g := 0; g < cfg.Hosts+cfg.Switches+cfg.Devices; g++ {
+		s.se.NewGroup(0)
+	}
 	s.vecBytes = cfg.Model.RowBytes()
 	s.layout = dlrm.NewLayout(cfg.Model, 0)
 	footprint := s.layout.Footprint()
@@ -354,7 +382,7 @@ func build(cfg Config) (*system, error) {
 				swCfg.BufferPolicy = cfg.BufferPolicy
 			}
 		}
-		swEng := s.se.Shard(int(s.shardOf(int32(cfg.Hosts + i))))
+		swEng := s.se.Group(cfg.Hosts + i)
 		s.switches = append(s.switches, fabric.New(swEng, swCfg))
 	}
 
@@ -365,12 +393,13 @@ func build(cfg Config) (*system, error) {
 	s.swDevs = make([][]int, cfg.Switches)
 	for d := 0; d < cfg.Devices; d++ {
 		swIdx := d % cfg.Switches
-		devEng := s.se.Shard(int(s.shardOf(int32(cfg.Hosts + cfg.Switches + d))))
-		dev := cxl.NewType3(devEng, cxl.DeviceConfig{
+		devGroup := cfg.Hosts + cfg.Switches + d
+		dev := cxl.NewType3(s.se.Group(devGroup), cxl.DeviceConfig{
 			ID:       d,
 			PortID:   uint16(0x200 + d),
 			Geometry: deviceGeometry(),
 			Timing:   dram.DDR4_3200(),
+			Group:    int32(devGroup),
 		})
 		s.devs = append(s.devs, dev)
 		s.devSwitch[d] = swIdx
@@ -387,14 +416,16 @@ func build(cfg Config) (*system, error) {
 		geo = nmpGeometry()
 	}
 	for h := 0; h < cfg.Hosts; h++ {
-		hostEng := s.se.Shard(int(s.shardOf(int32(h))))
+		hostEng := s.se.Group(h)
+		localDRAM := dram.NewController(hostEng, geo, dram.DDR5_4800())
+		localDRAM.SetGroup(int32(h))
 		hh := &host{
 			sys:       s,
 			eng:       hostEng,
 			id:        h,
 			spid:      uint16(1 + h),
 			sw:        s.switches[h%len(s.switches)],
-			localDRAM: dram.NewController(hostEng, geo, dram.DDR5_4800()),
+			localDRAM: localDRAM,
 		}
 		if cfg.Scheme == RecNMP {
 			hh.dimmCache = osb.New(4<<20, osb.HTR)
@@ -443,9 +474,38 @@ func build(cfg Config) (*system, error) {
 		}
 	})
 
-	s.se.SetDeliver(s.deliver)
+	s.register()
 	s.se.SetBarrier(s.barrier)
 	return s, nil
+}
+
+// register adds every component to the sharded engine in endpoint order —
+// hosts, switches, devices — and their DRAM channel banks as aux cost
+// components, so mailbox routing and the placement cost model share one
+// registry. The order fixes endpoint ids; it must match the endpoint
+// helpers and never depend on worker count or placement.
+func (s *system) register() {
+	for _, h := range s.hosts {
+		if ep := s.se.Register(h); ep != s.hostEndpoint(h.id) {
+			panic(fmt.Sprintf("engine: host %d registered as endpoint %d", h.id, ep))
+		}
+		for _, b := range h.localDRAM.Banks() {
+			s.se.RegisterAux(b)
+		}
+	}
+	for w, sw := range s.switches {
+		if ep := s.se.Register(sw); ep != s.switchEndpoint(w) {
+			panic(fmt.Sprintf("engine: switch %d registered as endpoint %d", w, ep))
+		}
+	}
+	for d, dev := range s.devs {
+		if ep := s.se.Register(dev); ep != s.deviceEndpoint(d) {
+			panic(fmt.Sprintf("engine: device %d registered as endpoint %d", d, ep))
+		}
+		for _, b := range dev.Banks() {
+			s.se.RegisterAux(b)
+		}
+	}
 }
 
 // wireLinks creates and binds every mailbox link. Port ids are allocated in
@@ -453,10 +513,11 @@ func build(cfg Config) (*system, error) {
 // channels) so the barrier merge's (time, port, seq) key is identical at
 // every shard count.
 func (s *system) wireLinks() {
+	// Endpoint == group, so a link's destination group is its endpoint.
 	newLink := func(owner int32, name string, gbps float64, prop sim.Tick, dst int32) *cxl.Link {
-		eng := s.se.Shard(int(s.shardOf(owner)))
+		eng := s.se.Group(int(owner))
 		l := cxl.NewLink(eng, name, gbps, prop)
-		l.Bind(s.se.Outbox(int(s.shardOf(owner))), s.se.NewPort(), s.shardOf(dst), dst)
+		l.Bind(s.se.Outbox(int(owner)), s.se.NewPort(), dst, dst)
 		return l
 	}
 
@@ -513,6 +574,7 @@ func (s *system) wireLinks() {
 
 	for w, sw := range s.switches {
 		sw.BindNet(fabric.Net{
+			Group:       s.switchEndpoint(w),
 			VecBytes:    s.vecBytes,
 			HostUp:      hostUpBySwitch[w],
 			DevDown:     devDown[w],
@@ -571,17 +633,13 @@ func nodeLocalAddr(addr uint64, capacity int64) uint64 {
 	return (h%pages)*tier.PageBytes + off
 }
 
-// barrier runs between windows: merge the window's access records in host
-// order, then run any page-management epochs the completed-bag count owes.
-// Single-goroutine; every shard has joined.
+// barrier runs between windows, after every host's WindowEnd hook has
+// merged its access records in host order: run any page-management epochs
+// the completed-bag count owes. Single-goroutine; every worker has joined.
 func (s *system) barrier(at sim.Tick) {
 	s.barrierNow = at
 	total := 0
 	for _, h := range s.hosts {
-		for _, a := range h.recAddrs {
-			s.mgr.Record(a)
-		}
-		h.recAddrs = h.recAddrs[:0]
 		total += h.bagsDone
 	}
 	for s.epochsDone < total/s.cfg.EpochBags {
@@ -599,8 +657,8 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	for i := 0; i < s.se.Shards(); i++ {
-		s.se.Shard(i).SetEventLimit(500_000_000)
+	for i := 0; i < s.se.Groups(); i++ {
+		s.se.Group(i).SetEventLimit(500_000_000)
 	}
 
 	for _, h := range s.hosts {

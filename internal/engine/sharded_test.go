@@ -5,6 +5,7 @@ package engine
 // shard count — sharding is a scheduling decision, never a modelling one.
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -83,6 +84,125 @@ func TestShardCountInvariantScaleOut(t *testing.T) {
 	}
 }
 
+// placementPolicies returns adversarial static placements: everything on
+// one worker, weights ignored in reverse deal order, and seeded random
+// assignments — the shapes a placement bug would be most likely to expose.
+func placementPolicies() []struct {
+	name   string
+	policy sim.PlacementPolicy
+} {
+	random := func(seed int64) sim.PlacementPolicy {
+		return func(weights []float64, workers int) []int32 {
+			rng := rand.New(rand.NewSource(seed))
+			out := make([]int32, len(weights))
+			for g := range out {
+				out[g] = int32(rng.Intn(workers))
+			}
+			return out
+		}
+	}
+	return []struct {
+		name   string
+		policy sim.PlacementPolicy
+	}{
+		{"all-on-one", sim.OneWorkerPlacement},
+		{"reverse-deal", func(weights []float64, workers int) []int32 {
+			out := make([]int32, len(weights))
+			for g := range out {
+				out[g] = int32((len(weights) - 1 - g) % workers)
+			}
+			return out
+		}},
+		{"random-7", random(7)},
+		{"random-99", random(99)},
+	}
+}
+
+// TestPlacementInvariantProperty is the placement-independence property
+// test: the same configurations as the scale-out matrix, run at several
+// worker counts under every adversarial placement policy, must produce
+// Results identical to the 1-worker cost-balanced reference. Placement is
+// pure scheduling — any divergence means mid-window shared state leaked
+// between groups.
+func TestPlacementInvariantProperty(t *testing.T) {
+	m := dlrm.RMC4().Scaled(64)
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Config{
+		{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Switches: 2, Devices: 6, Hosts: 3, HostParallelism: 8},
+		{Scheme: Pond, Model: m, Trace: tr, Seed: 3, Hosts: 2, Devices: 4},
+		{Scheme: RecNMP, Model: m, Trace: tr, Seed: 3, Hosts: 2, Devices: 4, EpochBags: 16},
+	}
+	for ci, cfg := range cases {
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		for _, n := range []int{2, 3, 4} {
+			for _, pp := range placementPolicies() {
+				placed := cfg
+				placed.Shards = n
+				placed.Placement = pp.policy
+				r, err := Run(placed)
+				if err != nil {
+					t.Fatalf("case %d shards=%d %s: %v", ci, n, pp.name, err)
+				}
+				if !reflect.DeepEqual(base, r) {
+					t.Errorf("case %d: shards=%d placement=%s diverged:\n  base: %#v\n  got:  %#v",
+						ci, n, pp.name, base, r)
+				}
+			}
+		}
+	}
+}
+
+// TestCostBalancedPlacementSeesWeights checks the cost model's plumbing:
+// group weights accrue from components and their DRAM channel banks, so a
+// host group (12 DDR5 banks) seeds heavier than a device group (4 DDR4
+// banks), and measured refinement leaves costs positive after a run.
+func TestCostBalancedPlacementSeesWeights(t *testing.T) {
+	m := dlrm.RMC1().Scaled(8)
+	m.Tables = 4
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 1, BatchSize: 2, BagSize: 8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Shards: 2, Devices: 2}
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostW := s.se.GroupWeight(0)
+	swW := s.se.GroupWeight(1)
+	devW := s.se.GroupWeight(2)
+	if hostW <= devW {
+		t.Errorf("host group weight %.1f not above device group %.1f (12 DDR5 banks vs 4 DDR4)", hostW, devW)
+	}
+	if swW <= 0 || devW <= 0 {
+		t.Errorf("non-positive group weights: switch %.1f device %.1f", swW, devW)
+	}
+	for _, h := range s.hosts {
+		h.pump()
+	}
+	s.se.Run()
+	for g := 0; g < s.se.Groups(); g++ {
+		if s.se.MeasuredCost(g) < 0 {
+			t.Errorf("group %d measured cost went negative: %v", g, s.se.MeasuredCost(g))
+		}
+	}
+}
+
 // buildSteady assembles a system for steady-state reuse measurements and
 // returns it with a repeatable workload cycle: the cycle aligns the shard
 // clocks, rewinds the hosts' trace cursors, and drives the whole trace
@@ -114,13 +234,13 @@ func buildSteady(t testing.TB, shards int) (*system, func()) {
 	}
 	cycle := func() {
 		var end sim.Tick
-		for i := 0; i < s.se.Shards(); i++ {
-			if now := s.se.Shard(i).Now(); now > end {
+		for i := 0; i < s.se.Groups(); i++ {
+			if now := s.se.Group(i).Now(); now > end {
 				end = now
 			}
 		}
-		for i := 0; i < s.se.Shards(); i++ {
-			s.se.Shard(i).RunUntil(end)
+		for i := 0; i < s.se.Groups(); i++ {
+			s.se.Group(i).RunUntil(end)
 		}
 		for _, h := range s.hosts {
 			h.next = 0

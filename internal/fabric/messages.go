@@ -62,6 +62,8 @@ func UnpackKey(v uint64) pifs.ClusterKey {
 // owned by this switch's shard and bound to the receiving endpoint. Indexed
 // structures use global ids so payload fields translate directly.
 type Net struct {
+	// Group is the placement group the switch lives on (sim.Component).
+	Group int32
 	// VecBytes is the system row-vector size (uniform per simulation).
 	VecBytes int
 	// HostUp, by host id: the host FlexBus up-direction for hosts whose

@@ -75,6 +75,8 @@ type Stats struct {
 
 // Switch is one fabric switch instance.
 type Switch struct {
+	sim.NoWindowHooks
+
 	eng *sim.Engine
 	cfg Config
 
@@ -127,6 +129,34 @@ func (s *Switch) DSPBandwidthGBs() float64 { return s.cfg.DSPBandwidthGBs }
 
 // Stats returns a snapshot of counters.
 func (s *Switch) Stats() Stats { return s.stats }
+
+// ComponentGroup returns the switch's placement group (sim.Component). The
+// group comes from BindNet's wiring, so registering an unbound switch would
+// silently seed group 0 — fail loudly instead, like the other ordering
+// contracts in this file.
+func (s *Switch) ComponentGroup() int32 {
+	if s.msg == nil {
+		panic(fmt.Sprintf("fabric: switch %d ComponentGroup before BindNet", s.cfg.ID))
+	}
+	return s.msg.net.Group
+}
+
+// CostWeight is the switch's static placement weight: decode/VCS front-end
+// plus a share per downstream port, plus the Process Core and buffer when
+// present — the fan-in a switch serves is what makes it expensive.
+func (s *Switch) CostWeight() float64 {
+	w := 2.0
+	if s.msg != nil {
+		w += 0.5 * float64(len(s.msg.net.DevDown))
+	}
+	if s.Core != nil {
+		w += 2
+	}
+	if s.Buffer != nil {
+		w++
+	}
+	return w
+}
 
 // AttachDevice wires a Type 3 device behind a dedicated downstream port and
 // returns its device index on this switch.

@@ -40,6 +40,20 @@ func scaledRMC4() dlrm.ModelConfig { return dlrm.RMC4().Scaled(64) }
 // pooling runs in the tens of rows per lookup.
 const benchBagSize = 32
 
+// numasimModel selects the implementation behind the §III characterization
+// figures (Fig 5/6): the analytic closed form by default, or the
+// event-driven component simulation. Both agree within the parity gate;
+// pifsbench -model switches at the CLI.
+var numasimModel = numasim.ModelAnalytic
+
+// SetNumasimModel selects the numasim implementation used by Fig5/Fig6 and
+// returns the previous choice.
+func SetNumasimModel(m numasim.Model) numasim.Model {
+	prev := numasimModel
+	numasimModel = m
+	return prev
+}
+
 // traceFor generates the standard trace for a model.
 func traceFor(kind trace.Kind, m dlrm.ModelConfig, batches int) *trace.Trace {
 	tr, err := trace.Generate(trace.Spec{
@@ -96,11 +110,11 @@ func Fig5() *report.Table {
 		cells := []any{panel.name, fmt.Sprintf("%dB", dim)}
 		for _, ts := range sizes {
 			w := numasim.DefaultWorkload(panel.threading, dim, ts)
-			base, err := numasim.Run(p, w, panel.baseline)
+			base, err := numasim.RunModel(numasimModel, p, w, panel.baseline)
 			if err != nil {
 				panic(err)
 			}
-			r, err := numasim.Run(p, w, panel.place)
+			r, err := numasim.RunModel(numasimModel, p, w, panel.place)
 			if err != nil {
 				panic(err)
 			}
@@ -129,7 +143,7 @@ func Fig6() *report.Table {
 	p := numasim.Genoa()
 	var prev float64
 	for _, c := range numasim.Fig6Configs() {
-		d, x, err := numasim.Fig6Split(p, c)
+		d, x, err := numasim.Fig6SplitModel(numasimModel, p, c)
 		if err != nil {
 			panic(err)
 		}
@@ -632,6 +646,44 @@ func Fig18() *report.Table {
 	return t
 }
 
+// NumasimParity tabulates the analytic closed form against the event-driven
+// component model on the Fig 5 default column (dim 64) for every placement
+// and threading, and reports the worst-case delta over the full seed sweep
+// — the table form of the parity gate that let the analytic fast path
+// retire behind pifsbench -model.
+func NumasimParity() *report.Table {
+	t := &report.Table{
+		Title:  "Numasim parity: closed-form analytic vs event-driven components (dim 64, 512K rows)",
+		Header: []string{"threading", "placement", "analytic GB/s", "event GB/s", "delta %"},
+	}
+	p := numasim.Genoa()
+	for _, th := range []numasim.Threading{numasim.BatchThreading, numasim.TableThreading} {
+		for _, place := range numasim.SeedPlacements() {
+			w := numasim.DefaultWorkload(th, 64, 512<<10)
+			a, err := numasim.Run(p, w, place)
+			if err != nil {
+				panic(err)
+			}
+			e, err := numasim.RunEvent(p, w, place)
+			if err != nil {
+				panic(err)
+			}
+			delta := 0.0
+			if a.AppGBs > 0 {
+				delta = 100 * (e.AppGBs - a.AppGBs) / a.AppGBs
+			}
+			t.AddRow(string(th), string(place), a.AppGBs, e.AppGBs, delta)
+		}
+	}
+	worst, err := numasim.WorstSeedParityPct(p)
+	if err != nil {
+		panic(err)
+	}
+	t.AddNote("worst |delta| across the full seed sweep (2 threadings x 4 dims x 7 sizes x 5 placements): %.2f%%", worst)
+	t.AddNote("event model deltas are latency tails + bulk-sync barrier handshakes the closed form ignores")
+	return t
+}
+
 // AblationInterleave sweeps the static interleave ratio for Pond+PM — a
 // DESIGN.md extra ablation, grounding the §III finding that 4:1 is a sweet
 // spot for small working sets while large models want most pages pooled.
@@ -724,6 +776,7 @@ func Experiments() map[string]func() *report.Table {
 		"ablation-interleave": AblationInterleave,
 		"ablation-migration":  AblationSwapDepth,
 		"dram-queues":         DRAMQueueDelay,
+		"numasim-parity":      NumasimParity,
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,10 +86,17 @@ func (r *Runner) Do(n int, fn func(int)) {
 // parallelism: with fewer configurations than workers, the spare cores run
 // each simulation on that many engine shards (conservative-time-window
 // sharding); with a saturated sweep, shards stay at 1 and the pool
-// parallelizes across configurations only. Because simulation results are
-// byte-identical at every shard count, the split is a pure scheduling
-// decision — tables never depend on it.
-func (r *Runner) ShardsPerConfig(n int) int {
+// parallelizes across configurations only. groups is the configuration's
+// component-group count (engine.Config.ComponentGroups) and bounds the
+// result — shards beyond the group count buy nothing; a group count below
+// one is a configuration bug and panics rather than being silently
+// clamped. Because simulation results are byte-identical at every shard
+// count and placement, the split is a pure scheduling decision — tables
+// never depend on it.
+func (r *Runner) ShardsPerConfig(n, groups int) int {
+	if groups < 1 {
+		panic(fmt.Sprintf("harness: configuration with %d component groups (need >= 1)", groups))
+	}
 	if n <= 0 {
 		return 1
 	}
@@ -100,19 +108,22 @@ func (r *Runner) ShardsPerConfig(n int) int {
 	if shards < 1 {
 		shards = 1
 	}
+	if shards > groups {
+		shards = groups
+	}
 	return shards
 }
 
 // RunConfigs simulates every config and returns the results in input order,
 // panicking on configuration errors exactly like the serial run helper.
-// Configs that leave Shards at zero inherit the pool's core split; an
-// explicit Shards value is honored as-is.
+// Configs that leave Shards at zero inherit the pool's core split, bounded
+// by their own component-group count; an explicit Shards value is honored
+// as-is (the engine documents its clamp).
 func (r *Runner) RunConfigs(cfgs []engine.Config) []engine.Result {
-	shards := r.ShardsPerConfig(len(cfgs))
 	return mapIndexed(r, len(cfgs), func(i int) engine.Result {
 		cfg := cfgs[i]
 		if cfg.Shards == 0 {
-			cfg.Shards = shards
+			cfg.Shards = r.ShardsPerConfig(len(cfgs), cfg.ComponentGroups())
 		}
 		return run(cfg)
 	})

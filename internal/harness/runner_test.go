@@ -8,6 +8,7 @@ import (
 
 	"pifsrec/internal/engine"
 	"pifsrec/internal/report"
+	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 )
 
@@ -88,19 +89,71 @@ func TestFiguresByteIdenticalAcrossPoolWidths(t *testing.T) {
 }
 
 func TestShardsPerConfigSplit(t *testing.T) {
-	cases := []struct{ workers, configs, want int }{
-		{1, 10, 1}, // serial pool: no spare cores
-		{4, 10, 1}, // saturated sweep: all cores to sweep-level fan-out
-		{4, 4, 1},  // exactly saturated
-		{4, 2, 2},  // half-empty sweep: 2 cores per simulation
-		{8, 3, 2},  // floor(8/3)
-		{4, 1, 4},  // single config gets every core as shards
-		{4, 0, 1},  // degenerate
+	cases := []struct{ workers, configs, groups, want int }{
+		{1, 10, 64, 1}, // serial pool: no spare cores
+		{4, 10, 64, 1}, // saturated sweep: all cores to sweep-level fan-out
+		{4, 4, 64, 1},  // exactly saturated
+		{4, 2, 64, 2},  // half-empty sweep: 2 cores per simulation
+		{8, 3, 64, 2},  // floor(8/3)
+		{4, 1, 64, 4},  // single config gets every core as shards
+		{4, 0, 64, 1},  // degenerate
+		{8, 1, 3, 3},   // group-bounded: 8 spare cores, 3 component groups
+		{4, 1, 1, 1},   // single-group config never shards
 	}
 	for _, c := range cases {
-		if got := NewRunner(c.workers).ShardsPerConfig(c.configs); got != c.want {
-			t.Errorf("ShardsPerConfig(workers=%d, configs=%d) = %d, want %d",
-				c.workers, c.configs, got, c.want)
+		if got := NewRunner(c.workers).ShardsPerConfig(c.configs, c.groups); got != c.want {
+			t.Errorf("ShardsPerConfig(workers=%d, configs=%d, groups=%d) = %d, want %d",
+				c.workers, c.configs, c.groups, got, c.want)
+		}
+	}
+}
+
+func TestShardsPerConfigRejectsNoGroups(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ShardsPerConfig accepted a zero-group configuration")
+		}
+	}()
+	NewRunner(4).ShardsPerConfig(1, 0)
+}
+
+// TestReportTablesPlacementInvariant renders a scheme sweep under forced
+// placement policies and requires byte-identical tables — the table-level
+// form of the placement-independence property.
+func TestReportTablesPlacementInvariant(t *testing.T) {
+	m := scaledRMC4()
+	tr := traceFor(trace.MetaLike, m, 1)
+	render := func(policy sim.PlacementPolicy) string {
+		tbl := &report.Table{
+			Title:  "placement-invariance matrix",
+			Header: []string{"scheme", "ns/bag", "total ns", "up bytes", "buffer hit%"},
+		}
+		var cfgs []engine.Config
+		for _, s := range engine.Schemes() {
+			cfg := schemeConfig(s, m, tr)
+			cfg.Shards = 3
+			cfg.Placement = policy
+			cfgs = append(cfgs, cfg)
+		}
+		for _, r := range pool.RunConfigs(cfgs) {
+			tbl.AddRow(string(r.Scheme), r.NSPerBag, r.TotalNS, r.HostLinkUpBytes, 100*r.BufferHitRatio)
+		}
+		return tbl.String()
+	}
+	base := render(nil) // dynamic cost-balanced default
+	policies := []sim.PlacementPolicy{
+		sim.OneWorkerPlacement,
+		func(weights []float64, workers int) []int32 { // reverse deal
+			out := make([]int32, len(weights))
+			for g := range out {
+				out[g] = int32((len(weights) - 1 - g) % workers)
+			}
+			return out
+		},
+	}
+	for i, p := range policies {
+		if got := render(p); got != base {
+			t.Errorf("table under placement policy %d differs from the default:\n%s\nvs\n%s", i, got, base)
 		}
 	}
 }

@@ -1,0 +1,150 @@
+package numasim
+
+import (
+	"math"
+	"testing"
+)
+
+// allPlacements is every placement the models accept.
+func allPlacements() []Placement {
+	return []Placement{AllLocal, RemoteSocket, CXLExpander, InterleaveCXL, CXLOnly}
+}
+
+// relDelta is |a-b| relative to a, with an absolute floor so zero-valued
+// tiers compare exactly.
+func relDelta(a, b float64) float64 {
+	if math.Abs(a) < 1e-9 {
+		return math.Abs(b)
+	}
+	return math.Abs(a-b) / math.Abs(a)
+}
+
+// TestAnalyticEventParityAllSeedConfigs is the model-parity gate: the
+// event-driven component simulation must agree with the closed form on
+// every seed configuration the figures draw from — both threadings, all
+// Fig 5 embedding dims and table sizes, every placement, plus the Fig 6
+// thread/dim groups. The tolerance budgets the event model's real latency
+// tails and barrier handshakes (measured worst case ~0.5%); anything
+// larger means a modelling divergence.
+func TestAnalyticEventParityAllSeedConfigs(t *testing.T) {
+	const tol = 0.01
+	p := Genoa()
+	check := func(w Workload, place Placement) {
+		t.Helper()
+		a, err := Run(p, w, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := RunEvent(p, w, place)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relDelta(a.AppGBs, e.AppGBs); d > tol {
+			t.Errorf("%s dim%d ts%d %s: AppGBs analytic %.3f event %.3f (delta %.2f%%)",
+				w.Threading, w.EmbDim, w.TableSize, place, a.AppGBs, e.AppGBs, 100*d)
+		}
+		if d := relDelta(a.LocalGBs, e.LocalGBs); d > tol {
+			t.Errorf("%s dim%d ts%d %s: LocalGBs analytic %.3f event %.3f (delta %.2f%%)",
+				w.Threading, w.EmbDim, w.TableSize, place, a.LocalGBs, e.LocalGBs, 100*d)
+		}
+		if d := relDelta(a.SlowGBs, e.SlowGBs); d > tol {
+			t.Errorf("%s dim%d ts%d %s: SlowGBs analytic %.3f event %.3f (delta %.2f%%)",
+				w.Threading, w.EmbDim, w.TableSize, place, a.SlowGBs, e.SlowGBs, 100*d)
+		}
+		if d := relDelta(a.AvgLatNS, e.AvgLatNS); d > tol {
+			t.Errorf("%s dim%d ts%d %s: AvgLatNS analytic %.3f event %.3f (delta %.2f%%)",
+				w.Threading, w.EmbDim, w.TableSize, place, a.AvgLatNS, e.AvgLatNS, 100*d)
+		}
+	}
+	for _, th := range []Threading{BatchThreading, TableThreading} {
+		for _, dim := range []int{16, 32, 64, 128} {
+			for _, ts := range Fig5TableSizes() {
+				for _, place := range allPlacements() {
+					check(DefaultWorkload(th, dim, ts), place)
+				}
+			}
+		}
+	}
+	for _, c := range Fig6Configs() {
+		w := DefaultWorkload(BatchThreading, c.EmbDim, 512<<10)
+		w.Threads = c.Threads
+		check(w, InterleaveCXL)
+	}
+}
+
+// TestRunModelDispatch pins the model selector: empty and "analytic" hit
+// the closed form, "event" the simulation, anything else errors.
+func TestRunModelDispatch(t *testing.T) {
+	p := Genoa()
+	w := DefaultWorkload(BatchThreading, 64, 512<<10)
+	a, err := RunModel(ModelAnalytic, p, w, CXLExpander)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := RunModel("", p, w, CXLExpander)
+	if err != nil || empty != a {
+		t.Errorf("empty model != analytic: %+v vs %+v (err %v)", empty, a, err)
+	}
+	e, err := RunModel(ModelEvent, p, w, CXLExpander)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDelta(a.AppGBs, e.AppGBs) > 0.01 {
+		t.Errorf("event model diverged: %.3f vs %.3f", e.AppGBs, a.AppGBs)
+	}
+	if _, err := RunModel("quantum", p, w, CXLExpander); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestEventModelValidation mirrors the analytic validation paths.
+func TestEventModelValidation(t *testing.T) {
+	p := Genoa()
+	w := DefaultWorkload(BatchThreading, 64, 1<<20)
+	w.Threads = 0
+	if _, err := RunEvent(p, w, AllLocal); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := RunEvent(p, DefaultWorkload(BatchThreading, 64, 1<<20), Placement("moon")); err == nil {
+		t.Error("bad placement accepted")
+	}
+}
+
+// TestEventModelQualitativeShape spot-checks the event model reproduces the
+// paper's qualitative findings on its own (not just via parity): remote
+// sockets degrade batch threading, CXL beats the remote socket, and
+// interleaving adds bandwidth over all-local under table threading.
+func TestEventModelQualitativeShape(t *testing.T) {
+	p := Genoa()
+	wb := DefaultWorkload(BatchThreading, 128, 1024<<10)
+	base, err := RunEvent(p, wb, AllLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := RunEvent(p, wb, RemoteSocket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.AppGBs >= base.AppGBs*0.6 {
+		t.Errorf("remote socket did not degrade batch threading: %.0f vs %.0f", remote.AppGBs, base.AppGBs)
+	}
+	cxl, err := RunEvent(p, wb, CXLExpander)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cxl.AppGBs < remote.AppGBs {
+		t.Errorf("CXL (%.0f) below remote socket (%.0f)", cxl.AppGBs, remote.AppGBs)
+	}
+	wt := DefaultWorkload(TableThreading, 128, 1024<<10)
+	baseT, err := RunEvent(p, wt, AllLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := RunEvent(p, wt, InterleaveCXL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.AppGBs <= baseT.AppGBs {
+		t.Errorf("interleave (%.0f) did not beat all-local (%.0f) under table threading", inter.AppGBs, baseT.AppGBs)
+	}
+}

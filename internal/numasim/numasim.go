@@ -159,16 +159,23 @@ type Result struct {
 	AvgLatNS float64
 }
 
-// Run evaluates a workload under a placement on a platform.
-//
-// Batch threading is bulk-synchronous: every thread touches both tiers each
-// batch, so the run alternates a local phase and a slow phase and the slow
-// tier's service rate gates everything (local channels idle while remote
-// stragglers finish). Table threading pins threads to tables, so the two
-// tiers progress independently and their bandwidths add.
-func Run(p Platform, w Workload, place Placement) (Result, error) {
+// tierPlan is the resolved service model of one (platform, workload,
+// placement) triple, shared by the closed form and the event-driven model:
+// the offered demand, the slow-tier share, and the slow tier's effective
+// service rate after the partial-population, congestion, and
+// latency-limited-concurrency adjustments.
+type tierPlan struct {
+	demand    float64 // offered app traffic, B/ns, after footprint scaling
+	slowShare float64
+	slowServ  float64 // slow tier effective service rate
+	slowLat   float64
+	hasHop    bool // remote socket: traffic crosses the inter-socket hop
+}
+
+// resolvePlan validates the run and computes the shared tier parameters.
+func resolvePlan(p Platform, w Workload, place Placement) (tierPlan, error) {
 	if err := w.Validate(); err != nil {
-		return Result{}, err
+		return tierPlan{}, err
 	}
 	demand := w.demandGBs() * w.footprintScale()
 
@@ -181,6 +188,7 @@ func Run(p Platform, w Workload, place Placement) (Result, error) {
 	}
 
 	var slowCap, slowLat float64
+	hasHop := false
 	switch place {
 	case AllLocal:
 		slowCap, slowLat = 0, 0
@@ -191,14 +199,14 @@ func Run(p Platform, w Workload, place Placement) (Result, error) {
 		// their efficiency (§III); the inter-socket link caps the rest.
 		slowCap = math.Min(p.RemoteGBs*math.Max(w.RemoteShare, 0.1)*0.5, p.InterconnectGBs)
 		slowLat = p.RemoteLatNS
+		hasHop = true
 	case CXLExpander, InterleaveCXL, CXLOnly:
 		slowCap = p.CXLGBs
 		slowLat = p.CXLLatNS
 	default:
-		return Result{}, fmt.Errorf("numasim: unknown placement %q", place)
+		return tierPlan{}, fmt.Errorf("numasim: unknown placement %q", place)
 	}
 
-	localCap := math.Min(demand, p.LocalGBs)
 	slowDemand := demand * slowShare
 
 	// Congestion: once offered slow-tier traffic exceeds its capacity,
@@ -217,6 +225,26 @@ func Run(p Platform, w Workload, place Placement) (Result, error) {
 			slowServ = byMLP
 		}
 	}
+	return tierPlan{demand: demand, slowShare: slowShare, slowServ: slowServ,
+		slowLat: slowLat, hasHop: hasHop}, nil
+}
+
+// Run evaluates a workload under a placement on a platform with the
+// closed-form analytic model (see RunModel for the event-driven
+// alternative).
+//
+// Batch threading is bulk-synchronous: every thread touches both tiers each
+// batch, so the run alternates a local phase and a slow phase and the slow
+// tier's service rate gates everything (local channels idle while remote
+// stragglers finish). Table threading pins threads to tables, so the two
+// tiers progress independently and their bandwidths add.
+func Run(p Platform, w Workload, place Placement) (Result, error) {
+	tp, err := resolvePlan(p, w, place)
+	if err != nil {
+		return Result{}, err
+	}
+	demand, slowShare, slowServ := tp.demand, tp.slowShare, tp.slowServ
+	localCap := math.Min(demand, p.LocalGBs)
 
 	var local, slow float64
 	switch {
@@ -235,7 +263,7 @@ func Run(p Platform, w Workload, place Placement) (Result, error) {
 	res := Result{LocalGBs: local, SlowGBs: slow}
 	res.AppGBs = local + slow
 	if res.AppGBs > 0 {
-		res.AvgLatNS = (local*p.LocalLatNS + slow*slowLat) / res.AppGBs
+		res.AvgLatNS = (local*p.LocalLatNS + slow*tp.slowLat) / res.AppGBs
 	}
 	return res, nil
 }
@@ -281,12 +309,18 @@ func Fig6Configs() []Fig6Config {
 
 // Fig6Split returns the DIMM and CXL shares of application bandwidth for a
 // configuration, normalized against the platform's total capability (the
-// paper plots normalized app bandwidth split by source).
+// paper plots normalized app bandwidth split by source), under the analytic
+// model.
 func Fig6Split(p Platform, c Fig6Config) (dimm, cxlShare float64, err error) {
+	return Fig6SplitModel(ModelAnalytic, p, c)
+}
+
+// Fig6SplitModel is Fig6Split under a chosen model implementation.
+func Fig6SplitModel(m Model, p Platform, c Fig6Config) (dimm, cxlShare float64, err error) {
 	w := DefaultWorkload(BatchThreading, c.EmbDim, 512<<10)
 	w.Threads = c.Threads
 	w.RemoteShare = 0.2
-	r, err := Run(p, w, InterleaveCXL)
+	r, err := RunModel(m, p, w, InterleaveCXL)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -113,6 +113,23 @@ type Engine struct {
 	ringCount int
 
 	heap []heapEntry
+
+	// Envelope delivery arena: AtMsg stages a mailbox envelope directly in
+	// the engine (the destination shard's calendar owns the storage) and the
+	// event hands it to its handler. Slots recycle through a free list.
+	envs     []envSlot
+	envFree  []int32
+	envInUse int
+	fnEnv    func(int32)
+}
+
+// envSlot is one pooled envelope awaiting delivery on this engine. addrs
+// keeps its capacity across recycles, so steady-state traffic stops growing
+// the arena.
+type envSlot struct {
+	env   Envelope
+	addrs []uint64
+	h     MsgHandler
 }
 
 // NewEngine returns an empty engine positioned at tick zero.
@@ -125,6 +142,7 @@ func NewEngine() *Engine {
 		e.heads[i] = -1
 		e.tails[i] = -1
 	}
+	e.fnEnv = e.fireEnv
 	return e
 }
 
@@ -167,6 +185,61 @@ func (e *Engine) At(t Tick, fn func()) Event {
 func (e *Engine) AtCall(t Tick, fn func(int32), arg int32) Event {
 	return e.schedule(t, nil, fn, arg)
 }
+
+// AtMsg schedules delivery of a mailbox envelope at env.At: the envelope
+// (and a copy of addrs) is staged in the engine's pooled envelope arena and
+// handed to h.HandleMsg when the event fires — the barrier merge writes
+// cross-shard messages straight into the destination's calendar with no
+// intermediate inbox. The envelope's Addrs passed to the handler alias the
+// pooled buffer; handlers copy what they keep.
+func (e *Engine) AtMsg(h MsgHandler, env Envelope, addrs []uint64) Event {
+	var slot int32
+	if n := len(e.envFree); n > 0 {
+		slot = e.envFree[n-1]
+		e.envFree = e.envFree[:n-1]
+	} else {
+		e.envs = append(e.envs, envSlot{})
+		slot = int32(len(e.envs) - 1)
+	}
+	s := &e.envs[slot]
+	s.env = env
+	s.addrs = append(s.addrs[:0], addrs...)
+	s.h = h
+	e.envInUse++
+	return e.schedule(env.At, nil, e.fnEnv, slot)
+}
+
+// fireEnv delivers one staged envelope and recycles its slot.
+func (e *Engine) fireEnv(slot int32) {
+	s := &e.envs[slot]
+	env := s.env
+	env.Addrs = s.addrs
+	h := s.h
+	h.HandleMsg(env)
+	// Re-acquire: the handler may have grown the arena via further AtMsg.
+	s = &e.envs[slot]
+	s.addrs = s.addrs[:0]
+	s.h = nil
+	e.envFree = append(e.envFree, slot)
+	e.envInUse--
+}
+
+// ReserveEnvelopes grows the envelope arena so that n further AtMsg calls
+// recycle or use pre-grown slots — the barrier reserves its whole window's
+// worth of deliveries up front instead of growing mid-injection.
+func (e *Engine) ReserveEnvelopes(n int) {
+	for need := e.envInUse + n - len(e.envs); need > 0; need-- {
+		e.envs = append(e.envs, envSlot{})
+		e.envFree = append(e.envFree, int32(len(e.envs)-1))
+	}
+}
+
+// PendingEnvelopes reports staged-but-undelivered envelopes (leak tests).
+func (e *Engine) PendingEnvelopes() int { return e.envInUse }
+
+// EnvelopeCapacity returns the envelope slots ever allocated — steady-state
+// traffic must stop growing it (reuse tests).
+func (e *Engine) EnvelopeCapacity() int { return len(e.envs) }
 
 func (e *Engine) schedule(t Tick, fn func(), fnc func(int32), arg int32) Event {
 	if t < e.now {
@@ -304,6 +377,13 @@ func (e *Engine) fire(id int32) {
 	}
 	fn()
 }
+
+// ScheduleCount returns the number of schedule operations ever performed.
+// The sharded coordinator uses it to cache NextTime across windows: a
+// group's earliest pending event can only move EARLIER through a new
+// schedule (firing and cancelling only remove events), so an unchanged
+// count plus an un-run window means the cached time is still a safe bound.
+func (e *Engine) ScheduleCount() uint64 { return e.nextSeq }
 
 // NextTime returns the timestamp of the earliest pending event. ok is false
 // when the queue is empty. The sharded engine uses it to pick each

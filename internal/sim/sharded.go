@@ -1,29 +1,31 @@
-// Sharded conservative-time-window execution (classic PDES with lookahead).
+// Sharded conservative-time-window execution (classic PDES with lookahead)
+// over the Component model.
 //
-// A ShardedEngine runs N Engine shards in lockstep windows [T, T+W): T is
-// the global minimum pending-event time and W is the minimum latency of any
-// cross-shard message. Because every interaction between components on
-// different shards is carried by a mailbox message whose delivery time is at
-// least W past its send time, events inside one window cannot causally
-// affect another shard within the same window — each shard may run its slice
-// of the window independently. At the barrier the messages generated during
-// the window are merged in a deterministic, shard-count-independent order
-// ((deliverAt, port, seq)) and injected as token events on their destination
-// shards.
+// A ShardedEngine advances a set of placement GROUPS in lockstep windows
+// [T, T+W): T is the global minimum pending-event time and W is the minimum
+// latency of any cross-group message. Each group owns a private Engine;
+// every interaction between components in different groups is carried by a
+// mailbox message whose delivery time is at least W past its send time, so
+// events inside one window on different groups are causally independent —
+// each group may run its slice of the window on any worker. At the barrier
+// the messages generated during the window are merged in a deterministic,
+// placement-independent order ((deliverAt, port, seq)) and written straight
+// into the destination group's calendar as envelope events.
 //
-// Determinism across shard counts is the design invariant: a message is
-// always sent in the same window (event times do not depend on sharding),
-// always injected at the barrier closing that window, and always ordered by
-// the same key — so the token-event sequence each component observes is
-// identical whether its peers share its engine or run three shards away.
-// That is what lets the figure harness pick any shard count and produce
-// byte-identical tables. The price is that messages between co-sharded
-// components also ride the mailbox: delivery order must not depend on
-// placement.
+// Placement — which worker runs which groups — is decided per window by
+// greedy cost-balanced bin-packing: group weights are seeded from the
+// components' static CostWeight declarations and refined by per-window
+// measured event counts (each group engine's fired-event delta). Because a
+// group's event stream is confined to its own engine and the merge key never
+// mentions placement, the token-event sequence each component observes is
+// identical whether its peers share its worker or run three workers away.
+// That is what lets the figure harness pick any worker count AND any
+// placement policy and produce byte-identical tables.
 //
 // All mailbox structures are pooled: outboxes are rings reset at each
-// barrier, inbox slots and their address buffers recycle through free lists,
-// so steady-state cross-shard messaging performs no heap allocation.
+// barrier, envelope slots and their address buffers recycle through
+// per-engine free lists, so steady-state cross-group messaging performs no
+// heap allocation.
 package sim
 
 import (
@@ -32,7 +34,7 @@ import (
 	"sort"
 )
 
-// Payload is the fixed-size value part of a cross-shard message. The field
+// Payload is the fixed-size value part of a cross-group message. The field
 // meanings are defined by the communicating components (the sim layer only
 // moves them); Addrs spans ride separately in the envelope.
 type Payload struct {
@@ -46,13 +48,13 @@ type Payload struct {
 }
 
 // Envelope is one mailbox message as seen by the destination handler. Addrs
-// aliases a pooled buffer owned by the inbox slot: handlers must copy
-// anything they keep past return.
+// aliases a pooled buffer owned by the destination engine: handlers must
+// copy anything they keep past return.
 type Envelope struct {
 	At       Tick
 	Port     int32 // sending link id: the deterministic ordering key
 	Seq      uint32
-	Endpoint int32 // destination component id (engine-layer routing)
+	Endpoint int32 // destination component id (registration order)
 	P        Payload
 	Addrs    []uint64
 }
@@ -61,179 +63,244 @@ type Envelope struct {
 // referencing the outbox arena.
 type outMsg struct {
 	env      Envelope
-	dstShard int32
+	dstGroup int32
 	aOff     int32
 	aLen     int32
 }
 
-// outbox is one shard's staging area for the current window. Single writer
-// (the owning shard's goroutine); drained by the coordinator at the barrier.
+// outbox is one group's staging area for the current window. Single writer
+// (whichever worker runs the group this window — exclusive by the plan);
+// drained by the coordinator at the barrier.
 type outbox struct {
 	msgs  []outMsg
 	arena []uint64
 }
 
-// inSlot is a pooled delivery record on the destination shard.
-type inSlot struct {
-	env   Envelope
-	addrs []uint64
-}
-
-// inbox holds the pending deliveries of one shard.
-type inbox struct {
-	slots []inSlot
-	free  []int32
-	inUse int
+// groupState is one placement group: a private engine, its outbox, and its
+// cost bookkeeping.
+type groupState struct {
+	eng    *Engine
+	out    outbox
+	weight float64 // static seed (sum of registered component weights)
 }
 
 // Outbox is the sender-side handle links bind to.
 type Outbox struct {
 	se    *ShardedEngine
-	shard int32
+	group int32
 }
 
-// ShardedEngine coordinates N shards. Shard 0..N-1 each own an Engine;
-// construction wiring decides which components live where.
-type ShardedEngine struct {
-	shards  []*Engine
-	deliver func(Envelope) // engine-layer dispatch; runs on the dst shard
-	barrier func(at Tick)  // engine-layer bookkeeping between windows
-	window  Tick
+// deliverShim routes envelopes to a ShardedEngine-level dispatch function —
+// the low-level alternative to registering Components (tests, harnesses).
+type deliverShim struct{ se *ShardedEngine }
 
-	out     []outbox
-	in      []inbox
-	thunks  []func(int32) // per-shard delivery thunk for AtCall
+func (d deliverShim) HandleMsg(env Envelope) { d.se.deliver(env) }
+
+// ShardedEngine coordinates the groups across up to `workers` parallel
+// worker shards.
+type ShardedEngine struct {
+	window  Tick
+	workers int
+
+	groups  []groupState
+	comps   []Component // by endpoint (registration order)
+	aux     []Component // cost/hook-only components (no endpoint)
+	hooked  []Component // components whose window hooks run (opt-in)
+	deliver func(Envelope)
+	barrier func(at Tick)
+	shim    deliverShim
+
 	portSeq []uint32
 	curEnd  Tick // current window end; Post asserts deliveries land beyond it
 
 	merged    []int // indices into gather, reused
 	gather    []outMsg
-	gatherSrc []int32 // source shard per gathered message (arena lookup)
+	gatherSrc []int32 // source group per gathered message (arena lookup)
+	inCount   []int32 // per-group incoming tally (envelope reservation)
 
-	// persistent window workers (only for >1 shard)
+	// Placement state: an optional static policy, else per-window LPT over
+	// measured costs.
+	policy PlacementPolicy
+	placed []int32 // group -> worker under a static policy
+
+	cost      []float64 // refined per-group cost (EMA of fired events)
+	prevFired []uint64
+
+	// Per-window scratch (allocated once at first Run). nextAt caches each
+	// group's earliest pending-event time; it is recomputed only when the
+	// group ran last window (dirty) or scheduled since the cache was taken
+	// (lastSched), so idle groups cost one comparison per window.
+	nextAt    []Tick
+	dirty     []bool
+	lastSched []uint64
+	active    []int32
+	activeW   []float64
+	orderSc   []int32
+	loadSc    []float64
+	planned   []int32
+	plan      [][]int32
+
+	// persistent window workers (only for >1 worker on >1 core)
 	workCh []chan Tick
 	doneCh chan int
-
-	nextAt []Tick // per-shard next event time, refreshed once per window
 }
 
 // NewSharded builds a sharded engine. window must be a positive lower bound
-// on every cross-shard message latency; shards must be >= 1.
-func NewSharded(shards int, window Tick) *ShardedEngine {
-	if shards < 1 {
-		panic(fmt.Sprintf("sim: NewSharded with %d shards", shards))
+// on every cross-group message latency; workers must be >= 1 and bounds the
+// parallelism (placement may leave workers idle, never exceed them).
+func NewSharded(workers int, window Tick) *ShardedEngine {
+	if workers < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d workers", workers))
 	}
 	if window <= 0 {
 		panic(fmt.Sprintf("sim: NewSharded with window %d", window))
 	}
-	se := &ShardedEngine{
-		shards: make([]*Engine, shards),
-		window: window,
-		out:    make([]outbox, shards),
-		in:     make([]inbox, shards),
-		thunks: make([]func(int32), shards),
-	}
-	for i := range se.shards {
-		se.shards[i] = NewEngine()
-		shard := int32(i)
-		se.thunks[i] = func(slot int32) { se.fireSlot(shard, slot) }
-	}
+	se := &ShardedEngine{workers: workers, window: window}
+	se.shim = deliverShim{se}
 	return se
 }
 
-// Shards returns the shard count.
-func (se *ShardedEngine) Shards() int { return len(se.shards) }
+// NewGroup allocates a placement group with a static cost-weight seed and a
+// private engine, returning the group id. Groups must be created in a fixed
+// construction order (ids are assigned sequentially).
+func (se *ShardedEngine) NewGroup(weight float64) int32 {
+	se.groups = append(se.groups, groupState{eng: NewEngine(), weight: weight})
+	return int32(len(se.groups) - 1)
+}
 
-// Shard returns shard i's engine; components constructed on that shard use
+// Groups returns the group count.
+func (se *ShardedEngine) Groups() int { return len(se.groups) }
+
+// Workers returns the worker bound.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// Group returns group g's engine; components constructed in that group use
 // it for all their local scheduling.
-func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+func (se *ShardedEngine) Group(g int) *Engine { return se.groups[g].eng }
 
 // Window returns the conservative lookahead in ticks.
 func (se *ShardedEngine) Window() Tick { return se.window }
 
-// Outbox returns the mailbox handle for senders living on shard i.
-func (se *ShardedEngine) Outbox(i int) *Outbox {
-	return &Outbox{se: se, shard: int32(i)}
+// GroupWeight returns a group's static weight seed (its components' summed
+// CostWeight declarations plus any NewGroup seed).
+func (se *ShardedEngine) GroupWeight(g int) float64 { return se.groups[g].weight }
+
+// MeasuredCost returns a group's refined cost estimate: the exponential
+// moving average of its per-window fired-event counts, seeded from the
+// static weight. Dynamic multi-worker placement balances these; runs that
+// never consult them (one worker, static policy) keep the seed.
+func (se *ShardedEngine) MeasuredCost(g int) float64 {
+	if se.cost == nil {
+		return se.groups[g].weight
+	}
+	return se.cost[g]
 }
 
-// SetDeliver installs the message dispatcher. It is invoked on the
-// destination shard's goroutine at each message's delivery time and must
-// only touch state owned by the destination component's group.
+// Register adds a component and returns its endpoint id (assigned in
+// registration order — the order must not depend on worker count or
+// placement). The component's static weight is folded into its group's seed.
+func (se *ShardedEngine) Register(c Component) int32 {
+	g := c.ComponentGroup()
+	if g < 0 || int(g) >= len(se.groups) {
+		panic(fmt.Sprintf("sim: Register component in unknown group %d", g))
+	}
+	se.groups[g].weight += c.CostWeight()
+	se.comps = append(se.comps, c)
+	if c.UsesWindowHooks() {
+		se.hooked = append(se.hooked, c)
+	}
+	return int32(len(se.comps) - 1)
+}
+
+// RegisterAux adds a cost-contributing, hook-receiving component that never
+// receives mailbox messages and gets no endpoint — DRAM channel banks use
+// this so per-bank weights make a memory node's true cost visible to the
+// placement.
+func (se *ShardedEngine) RegisterAux(c Component) {
+	g := c.ComponentGroup()
+	if g < 0 || int(g) >= len(se.groups) {
+		panic(fmt.Sprintf("sim: RegisterAux component in unknown group %d", g))
+	}
+	se.groups[g].weight += c.CostWeight()
+	se.aux = append(se.aux, c)
+	if c.UsesWindowHooks() {
+		se.hooked = append(se.hooked, c)
+	}
+}
+
+// Outbox returns the mailbox handle for senders living in group g.
+func (se *ShardedEngine) Outbox(g int) *Outbox {
+	return &Outbox{se: se, group: int32(g)}
+}
+
+// SetDeliver installs a dispatch override invoked instead of the registered
+// component's HandleMsg — the low-level hook tests and custom harnesses use.
+// It is invoked on the destination group's worker at each message's delivery
+// time and must only touch state owned by the destination's group.
 func (se *ShardedEngine) SetDeliver(fn func(Envelope)) { se.deliver = fn }
 
 // SetBarrier installs a hook run between windows (single-goroutine, after
-// all shards have joined and messages have been injected). The argument is
-// the closing window's end time. Cross-group bookkeeping — access-count
-// merging, page-management epochs — belongs here.
+// all workers have joined, messages have been injected, and component
+// WindowEnd hooks have run). The argument is the closing window's end time.
+// Cross-group bookkeeping — access-count merging, page-management epochs —
+// belongs here.
 func (se *ShardedEngine) SetBarrier(fn func(at Tick)) { se.barrier = fn }
+
+// SetPlacement installs a static placement policy evaluated once, at the
+// first Run, over the static group weights. The default (nil) is dynamic:
+// greedy cost-balanced bin-packing re-planned every window from measured
+// event counts. Placement is pure scheduling — results are byte-identical
+// under every policy.
+func (se *ShardedEngine) SetPlacement(p PlacementPolicy) { se.policy = p }
 
 // NewPort allocates a global port id. Ports identify sending links; the
 // merge at each barrier orders messages by (deliverAt, port, seq), so port
 // ids must be assigned in a construction order that does not depend on the
-// shard count. Each port belongs to exactly one sending component — only
-// that component's shard may Post on it (the per-port sequence counter has
-// a single writer by this contract).
+// worker count or placement. Each port belongs to exactly one sending
+// component — only that component's group may Post on it (the per-port
+// sequence counter has a single writer by this contract).
 func (se *ShardedEngine) NewPort() int32 {
 	se.portSeq = append(se.portSeq, 0)
 	return int32(len(se.portSeq) - 1)
 }
 
-// Post stages a message for delivery. Only the owning shard's goroutine may
-// call it (links bound to this outbox are owned by that shard). addrs is
-// copied into the outbox arena and may be reused immediately.
-func (ob *Outbox) Post(port int32, dstShard, dstEndpoint int32, at Tick, p Payload, addrs []uint64) {
+// Post stages a message for delivery to dstEndpoint in dstGroup. Only the
+// worker currently running the owning group may call it (links bound to
+// this outbox are owned by that group). addrs is copied into the outbox
+// arena and may be reused immediately.
+func (ob *Outbox) Post(port int32, dstGroup, dstEndpoint int32, at Tick, p Payload, addrs []uint64) {
 	se := ob.se
 	if at <= se.curEnd {
 		panic(fmt.Sprintf("sim: message on port %d delivered at %d inside the current window ending %d — lookahead violated", port, at, se.curEnd))
 	}
-	o := &se.out[ob.shard]
+	o := &se.groups[ob.group].out
 	off := int32(len(o.arena))
 	o.arena = append(o.arena, addrs...)
 	seq := se.portSeq[port]
 	se.portSeq[port] = seq + 1
 	o.msgs = append(o.msgs, outMsg{
 		env:      Envelope{At: at, Port: port, Seq: seq, Endpoint: dstEndpoint, P: p},
-		dstShard: dstShard,
+		dstGroup: dstGroup,
 		aOff:     off,
 		aLen:     int32(len(addrs)),
 	})
 }
 
-// fireSlot delivers one injected message on its destination shard and
-// recycles the slot.
-func (se *ShardedEngine) fireSlot(shard, slot int32) {
-	in := &se.in[shard]
-	s := &in.slots[slot]
-	env := s.env
-	env.Addrs = s.addrs
-	se.deliver(env)
-	s.addrs = s.addrs[:0]
-	in.free = append(in.free, slot)
-	in.inUse--
-}
-
-// inject schedules one merged message as a token event on its destination
-// shard.
-func (se *ShardedEngine) inject(m *outMsg, srcArena []uint64) {
-	in := &se.in[m.dstShard]
-	var slot int32
-	if n := len(in.free); n > 0 {
-		slot = in.free[n-1]
-		in.free = in.free[:n-1]
-	} else {
-		in.slots = append(in.slots, inSlot{})
-		slot = int32(len(in.slots) - 1)
+// handlerFor resolves a message's destination: the deliver override when
+// installed, else the registered component.
+func (se *ShardedEngine) handlerFor(endpoint int32) MsgHandler {
+	if se.deliver != nil {
+		return se.shim
 	}
-	s := &in.slots[slot]
-	s.env = m.env
-	s.addrs = append(s.addrs[:0], srcArena[m.aOff:m.aOff+m.aLen]...)
-	in.inUse++
-	se.shards[m.dstShard].AtCall(m.env.At, se.thunks[m.dstShard], slot)
+	if int(endpoint) >= len(se.comps) {
+		panic(fmt.Sprintf("sim: message for unregistered endpoint %d", endpoint))
+	}
+	return se.comps[endpoint]
 }
 
 // mergeSorter orders the gathered messages by (At, Port, Seq) — a key that
 // depends only on simulated time and construction-ordered port ids, never on
-// shard placement.
+// placement.
 type mergeSorter struct{ se *ShardedEngine }
 
 func (ms mergeSorter) Len() int { return len(ms.se.merged) }
@@ -252,62 +319,82 @@ func (ms mergeSorter) Swap(i, j int) {
 	ms.se.merged[i], ms.se.merged[j] = ms.se.merged[j], ms.se.merged[i]
 }
 
-// exchange drains every outbox, merges deterministically, and injects.
-// gather keeps per-message arena provenance via shard-ordered concatenation.
+// exchange drains every outbox, merges deterministically, reserves each
+// destination's envelope slots for the window, and writes the envelopes
+// straight into the destination calendars. gather keeps per-message arena
+// provenance via group-ordered concatenation.
 func (se *ShardedEngine) exchange() {
 	se.gather = se.gather[:0]
 	se.merged = se.merged[:0]
-	for i := range se.out {
-		o := &se.out[i]
+	if se.inCount == nil {
+		se.inCount = make([]int32, len(se.groups))
+	}
+	for i := range se.inCount {
+		se.inCount[i] = 0
+	}
+	for i := range se.groups {
+		o := &se.groups[i].out
 		for j := range o.msgs {
 			se.gather = append(se.gather, o.msgs[j])
 			se.merged = append(se.merged, len(se.gather)-1)
 			se.gatherSrc = append(se.gatherSrc, int32(i))
+			se.inCount[o.msgs[j].dstGroup]++
 		}
 	}
 	sort.Sort(mergeSorter{se})
+	for g := range se.groups {
+		if se.inCount[g] > 0 {
+			se.groups[g].eng.ReserveEnvelopes(int(se.inCount[g]))
+		}
+	}
 	for _, gi := range se.merged {
-		se.inject(&se.gather[gi], se.out[se.gatherSrc[gi]].arena)
+		m := &se.gather[gi]
+		srcArena := se.groups[se.gatherSrc[gi]].out.arena
+		se.groups[m.dstGroup].eng.AtMsg(se.handlerFor(m.env.Endpoint), m.env,
+			srcArena[m.aOff:m.aOff+m.aLen])
 	}
 	se.gatherSrc = se.gatherSrc[:0]
-	for i := range se.out {
-		se.out[i].msgs = se.out[i].msgs[:0]
-		se.out[i].arena = se.out[i].arena[:0]
+	for i := range se.groups {
+		se.groups[i].out.msgs = se.groups[i].out.msgs[:0]
+		se.groups[i].out.arena = se.groups[i].out.arena[:0]
 	}
 }
 
 // PendingMessages reports staged-but-undelivered messages (outboxes plus
-// inbox slots whose events have not fired) — for leak tests.
+// calendar envelopes whose events have not fired) — for leak tests.
 func (se *ShardedEngine) PendingMessages() int {
 	n := 0
-	for i := range se.out {
-		n += len(se.out[i].msgs)
-	}
-	for i := range se.in {
-		n += se.in[i].inUse
+	for i := range se.groups {
+		n += len(se.groups[i].out.msgs)
+		n += se.groups[i].eng.PendingEnvelopes()
 	}
 	return n
 }
 
-// InboxCapacity returns the total inbox slots ever allocated on a shard —
-// steady-state traffic must stop growing it (reuse tests).
-func (se *ShardedEngine) InboxCapacity(shard int) int { return len(se.in[shard].slots) }
+// InboxCapacity returns the total envelope slots ever allocated on a
+// group's calendar — steady-state traffic must stop growing it (reuse
+// tests).
+func (se *ShardedEngine) InboxCapacity(g int) int {
+	return se.groups[g].eng.EnvelopeCapacity()
+}
 
-// startWorkers launches one persistent goroutine per shard beyond the
-// coordinator-run shard. Workers block on their channel between windows.
+// startWorkers launches one persistent goroutine per worker beyond the
+// coordinator-run worker 0. Workers block on their channel between windows
+// and run their slice of the current plan.
 func (se *ShardedEngine) startWorkers() {
-	if len(se.shards) == 1 || se.workCh != nil {
+	if se.workCh != nil {
 		return
 	}
-	se.workCh = make([]chan Tick, len(se.shards))
-	se.doneCh = make(chan int, len(se.shards))
-	for i := 1; i < len(se.shards); i++ {
+	se.workCh = make([]chan Tick, se.workers)
+	se.doneCh = make(chan int, se.workers)
+	for i := 1; i < se.workers; i++ {
 		ch := make(chan Tick, 1)
 		se.workCh[i] = ch
-		eng := se.shards[i]
 		go func(id int) {
 			for deadline := range ch {
-				eng.RunUntil(deadline)
+				for _, g := range se.plan[id] {
+					se.groups[g].eng.RunUntil(deadline)
+				}
 				se.doneCh <- id
 			}
 		}(i)
@@ -325,13 +412,138 @@ func (se *ShardedEngine) stopWorkers() {
 	se.doneCh = nil
 }
 
-// Run advances windows until every shard drains and no messages remain, and
-// returns the final simulation time (the maximum across shards).
-func (se *ShardedEngine) Run() Tick {
-	if se.deliver == nil {
-		panic("sim: ShardedEngine.Run without SetDeliver")
+// ensureScratch sizes the per-window scratch to the group/worker counts and
+// seeds the refined costs from the static weights.
+func (se *ShardedEngine) ensureScratch() {
+	n := len(se.groups)
+	if len(se.nextAt) == n && len(se.plan) == se.workers {
+		return
 	}
-	multi := len(se.shards) > 1 && runtime.GOMAXPROCS(0) > 1
+	se.nextAt = make([]Tick, n)
+	se.dirty = make([]bool, n)
+	se.lastSched = make([]uint64, n)
+	for i := range se.dirty {
+		se.dirty[i] = true
+	}
+	se.active = make([]int32, 0, n)
+	se.activeW = make([]float64, 0, n)
+	se.orderSc = make([]int32, n)
+	se.loadSc = make([]float64, se.workers)
+	se.planned = make([]int32, n)
+	se.plan = make([][]int32, se.workers)
+	for w := range se.plan {
+		se.plan[w] = make([]int32, 0, n)
+	}
+	se.cost = make([]float64, n)
+	se.prevFired = make([]uint64, n)
+	for g := range se.groups {
+		se.cost[g] = se.groups[g].weight
+		se.prevFired[g] = se.groups[g].eng.Fired()
+	}
+	if se.policy != nil {
+		weights := make([]float64, n)
+		for g := range se.groups {
+			weights[g] = se.groups[g].weight
+		}
+		se.placed = se.policy(weights, se.workers)
+		if len(se.placed) != n {
+			panic(fmt.Sprintf("sim: placement policy returned %d assignments for %d groups", len(se.placed), n))
+		}
+		for g, w := range se.placed {
+			if w < 0 || int(w) >= se.workers {
+				panic(fmt.Sprintf("sim: placement policy put group %d on worker %d of %d", g, w, se.workers))
+			}
+		}
+	}
+}
+
+// buildPlan partitions the window's active groups across workers: a static
+// policy's assignment when installed, else greedy LPT bin-packing over the
+// measured costs.
+func (se *ShardedEngine) buildPlan() {
+	for w := range se.plan {
+		se.plan[w] = se.plan[w][:0]
+	}
+	if se.placed != nil {
+		for _, g := range se.active {
+			w := se.placed[g]
+			se.plan[w] = append(se.plan[w], g)
+		}
+		return
+	}
+	k := len(se.active)
+	se.activeW = se.activeW[:0]
+	for _, g := range se.active {
+		se.activeW = append(se.activeW, se.cost[g])
+	}
+	placeLPT(se.activeW, se.orderSc[:k], se.loadSc, se.planned[:k])
+	for i, g := range se.active {
+		se.plan[se.planned[i]] = append(se.plan[se.planned[i]], g)
+	}
+}
+
+// runWindow executes the active groups up to deadline. With one active
+// group (or one worker) everything runs on the coordinator; otherwise the
+// plan's worker slices run in parallel when real cores back them, and
+// sequentially (still exercising the plan) on a single core.
+func (se *ShardedEngine) runWindow(deadline Tick, multi bool) {
+	if len(se.active) == 0 {
+		return
+	}
+	if len(se.active) == 1 || se.workers == 1 {
+		for _, g := range se.active {
+			se.groups[g].eng.RunUntil(deadline)
+		}
+		return
+	}
+	se.buildPlan()
+	if !multi {
+		for w := range se.plan {
+			for _, g := range se.plan[w] {
+				se.groups[g].eng.RunUntil(deadline)
+			}
+		}
+		return
+	}
+	dispatched := 0
+	for w := 1; w < se.workers; w++ {
+		if len(se.plan[w]) > 0 {
+			se.workCh[w] <- deadline
+			dispatched++
+		}
+	}
+	for _, g := range se.plan[0] {
+		se.groups[g].eng.RunUntil(deadline)
+	}
+	for ; dispatched > 0; dispatched-- {
+		<-se.doneCh
+	}
+}
+
+// refineCosts folds each group's fired-event delta for the closed window
+// into its cost EMA — the measured refinement the next window's plan packs.
+// With one worker or a static policy no plan ever reads the costs, so the
+// per-window Fired reads are skipped and MeasuredCost stays at the seed.
+func (se *ShardedEngine) refineCosts() {
+	if se.workers == 1 || se.placed != nil {
+		return
+	}
+	for g := range se.groups {
+		f := se.groups[g].eng.Fired()
+		delta := float64(f - se.prevFired[g])
+		se.prevFired[g] = f
+		se.cost[g] = 0.75*se.cost[g] + 0.25*delta
+	}
+}
+
+// Run advances windows until every group drains and no messages remain, and
+// returns the final simulation time (the maximum across groups).
+func (se *ShardedEngine) Run() Tick {
+	if se.deliver == nil && len(se.comps) == 0 && len(se.groups) > 0 {
+		panic("sim: ShardedEngine.Run without registered components or SetDeliver")
+	}
+	se.ensureScratch()
+	multi := se.workers > 1 && runtime.GOMAXPROCS(0) > 1 && len(se.groups) > 1
 	if multi {
 		se.startWorkers()
 		defer se.stopWorkers()
@@ -339,22 +551,27 @@ func (se *ShardedEngine) Run() Tick {
 	// Inject anything staged before Run (e.g. the initial workload pump
 	// posts messages outside any window).
 	se.exchange()
-	if se.nextAt == nil {
-		se.nextAt = make([]Tick, len(se.shards))
-	}
 	var end Tick
 	for {
-		// One queue scan per shard per window: everything below (window
-		// start, active set, dispatch) derives from this snapshot.
+		// One cached queue scan per group per window: a group's snapshot is
+		// refreshed only when it ran last window or scheduled since (new
+		// events are the only way its earliest time moves earlier — firing
+		// and cancelling are caught the next time it runs). Everything
+		// below (window start, active set, plan) derives from this.
 		t := MaxTick
-		for i, sh := range se.shards {
-			nt, ok := sh.NextTime()
-			if !ok {
-				nt = MaxTick
+		for gi := range se.groups {
+			eng := se.groups[gi].eng
+			if sched := eng.ScheduleCount(); se.dirty[gi] || sched != se.lastSched[gi] {
+				nt, ok := eng.NextTime()
+				if !ok {
+					nt = MaxTick
+				}
+				se.nextAt[gi] = nt
+				se.dirty[gi] = false
+				se.lastSched[gi] = sched
 			}
-			se.nextAt[i] = nt
-			if nt < t {
-				t = nt
+			if se.nextAt[gi] < t {
+				t = se.nextAt[gi]
 			}
 		}
 		if t == MaxTick {
@@ -362,45 +579,22 @@ func (se *ShardedEngine) Run() Tick {
 		}
 		winEnd := t + se.window
 		se.curEnd = winEnd - 1
-		if multi {
-			// Count the shards with work this window; a lone active shard
-			// runs on the coordinator (workers idle — no handoff cost, and
-			// any shard's state is safely coordinator-run while they wait).
-			active, last := 0, -1
-			for i := range se.shards {
-				if se.nextAt[i] <= winEnd-1 {
-					active++
-					last = i
-				}
-			}
-			if active == 1 {
-				se.shards[last].RunUntil(winEnd - 1)
-			} else if active > 1 {
-				// Shard 0 runs on the coordinator goroutine; shards 1..N-1
-				// have persistent workers, dispatched first so they overlap
-				// with the inline run.
-				dispatched := 0
-				for i := 1; i < len(se.shards); i++ {
-					if se.nextAt[i] <= winEnd-1 {
-						se.workCh[i] <- winEnd - 1
-						dispatched++
-					}
-				}
-				if se.nextAt[0] <= winEnd-1 {
-					se.shards[0].RunUntil(winEnd - 1)
-				}
-				for ; dispatched > 0; dispatched-- {
-					<-se.doneCh
-				}
-			}
-		} else {
-			for i, sh := range se.shards {
-				if se.nextAt[i] <= winEnd-1 {
-					sh.RunUntil(winEnd - 1)
-				}
+		for _, c := range se.hooked {
+			c.WindowStart(t)
+		}
+		se.active = se.active[:0]
+		for gi := range se.groups {
+			if se.nextAt[gi] <= winEnd-1 {
+				se.active = append(se.active, int32(gi))
+				se.dirty[gi] = true
 			}
 		}
+		se.runWindow(winEnd-1, multi)
+		se.refineCosts()
 		se.exchange()
+		for _, c := range se.hooked {
+			c.WindowEnd(winEnd)
+		}
 		if se.barrier != nil {
 			se.barrier(winEnd)
 		}
@@ -408,9 +602,9 @@ func (se *ShardedEngine) Run() Tick {
 			end = winEnd
 		}
 	}
-	for _, sh := range se.shards {
-		if sh.Now() > end {
-			end = sh.Now()
+	for gi := range se.groups {
+		if now := se.groups[gi].eng.Now(); now > end {
+			end = now
 		}
 	}
 	return end

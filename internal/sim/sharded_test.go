@@ -1,17 +1,22 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 )
 
-// fakeNet wires a ShardedEngine whose handler records delivery order.
+// fakeNet wires a ShardedEngine whose deliver override records delivery
+// order. Each of the `groups` placement groups gets weight 1.
 type fakeNet struct {
 	se    *ShardedEngine
 	order []Envelope
 }
 
-func newFakeNet(shards int, window Tick) *fakeNet {
-	f := &fakeNet{se: NewSharded(shards, window)}
+func newFakeNet(workers, groups int, window Tick) *fakeNet {
+	f := &fakeNet{se: NewSharded(workers, window)}
+	for g := 0; g < groups; g++ {
+		f.se.NewGroup(1)
+	}
 	f.se.SetDeliver(func(env Envelope) {
 		// Copy the addrs (the slot's buffer is recycled after return).
 		cp := env
@@ -21,29 +26,29 @@ func newFakeNet(shards int, window Tick) *fakeNet {
 	return f
 }
 
-// TestMailboxDeliveryOrder posts messages from several shards with
+// TestMailboxDeliveryOrder posts messages from several groups with
 // deliberately shuffled (time, port) combinations and requires delivery in
-// (At, Port, Seq) order — the shard-count-independent merge key.
+// (At, Port, Seq) order — the placement-independent merge key.
 func TestMailboxDeliveryOrder(t *testing.T) {
-	f := newFakeNet(3, 50)
+	f := newFakeNet(3, 3, 50)
 	se := f.se
 	// One port per sending component (the ownership contract): pa, pb on
-	// shard 0; pc on shard 1; pd on shard 2.
+	// group 0; pc on group 1; pd on group 2.
 	pa := se.NewPort()
 	pb := se.NewPort()
 	pc := se.NewPort()
 	pd := se.NewPort()
 
-	// A driver event on each shard posts during the first window.
-	se.Shard(0).At(0, func() {
+	// A driver event in each group posts during the first window.
+	se.Group(0).At(0, func() {
 		se.Outbox(0).Post(pa, 1, 1, 80, Payload{U0: 1}, []uint64{7, 8})
 		se.Outbox(0).Post(pb, 1, 1, 80, Payload{U0: 2}, nil)
 	})
-	se.Shard(1).At(0, func() {
+	se.Group(1).At(0, func() {
 		se.Outbox(1).Post(pc, 1, 1, 80, Payload{U0: 3}, nil)
 		se.Outbox(1).Post(pc, 1, 1, 90, Payload{U0: 4}, nil)
 	})
-	se.Shard(2).At(0, func() {
+	se.Group(2).At(0, func() {
 		se.Outbox(2).Post(pd, 1, 1, 70, Payload{U0: 5}, nil)
 	})
 	se.Run()
@@ -65,59 +70,66 @@ func TestMailboxDeliveryOrder(t *testing.T) {
 	}
 }
 
-// TestMailboxPlacementInvariance runs the same message-driven workload on 1,
-// 2, and 4 shards and requires each endpoint to observe an identical message
-// sequence. (A single global order is NOT part of the contract: components
-// on different shards may interleave freely within a window precisely
-// because they share no state.) Components: four "pingers" that bounce a
-// counter between each other with 60-tick latency; endpoint e lives on
-// shard e%N.
-func TestMailboxPlacementInvariance(t *testing.T) {
-	type record struct {
-		at  Tick
-		ep  int32
-		u   int32
-		cnt int32
+// pingWorkload runs four message-bouncing endpoints (one group each) under a
+// worker count and placement policy, and returns the per-endpoint delivery
+// logs. Used by the placement-invariance tests.
+type pingRecord struct {
+	at  Tick
+	ep  int32
+	u   int32
+	cnt int32
+}
+
+func pingWorkload(workers int, policy PlacementPolicy) [][]pingRecord {
+	const eps = 4
+	se := NewSharded(workers, 50)
+	log := make([][]pingRecord, eps)
+	ports := make([]int32, eps)
+	for e := 0; e < eps; e++ {
+		se.NewGroup(float64(1 + e)) // deliberately uneven weights
+		ports[e] = se.NewPort()
 	}
-	run := func(shards int) [][]record {
-		const eps = 4
-		se := NewSharded(shards, 50)
-		log := make([][]record, eps)
-		ports := make([]int32, eps)
-		shardOf := func(ep int32) int32 { return ep % int32(shards) }
-		for e := 0; e < eps; e++ {
-			ports[e] = se.NewPort()
+	if policy != nil {
+		se.SetPlacement(policy)
+	}
+	se.SetDeliver(func(env Envelope) {
+		eng := se.Group(int(env.Endpoint))
+		log[env.Endpoint] = append(log[env.Endpoint],
+			pingRecord{at: env.At, ep: env.Endpoint, u: env.P.U0, cnt: env.P.U1})
+		if env.P.U1 >= 12 {
+			return
 		}
-		se.SetDeliver(func(env Envelope) {
-			eng := se.Shard(int(shardOf(env.Endpoint)))
-			log[env.Endpoint] = append(log[env.Endpoint],
-				record{at: env.At, ep: env.Endpoint, u: env.P.U0, cnt: env.P.U1})
-			if env.P.U1 >= 12 {
-				return
-			}
-			src := env.Endpoint
-			dst := (env.Endpoint + 1 + env.P.U1%2) % eps
-			// Respond after a little local work.
-			cnt := env.P.U1 + 1
-			eng.At(eng.Now()+3, func() {
-				se.Outbox(int(shardOf(src))).Post(ports[src], shardOf(dst), dst,
-					eng.Now()+60, Payload{U0: src, U1: cnt}, nil)
-			})
+		src := env.Endpoint
+		dst := (env.Endpoint + 1 + env.P.U1%2) % eps
+		// Respond after a little local work.
+		cnt := env.P.U1 + 1
+		eng.At(eng.Now()+3, func() {
+			se.Outbox(int(src)).Post(ports[src], dst, dst,
+				eng.Now()+60, Payload{U0: src, U1: cnt}, nil)
 		})
-		// Seed: every endpoint fires one initial message to its neighbor.
-		for e := int32(0); e < eps; e++ {
-			e := e
-			eng := se.Shard(int(shardOf(e)))
-			dst := (e + 1) % eps
-			eng.At(Tick(e), func() {
-				se.Outbox(int(shardOf(e))).Post(ports[e], shardOf(dst), dst,
-					eng.Now()+60, Payload{U0: e, U1: 0}, nil)
-			})
-		}
-		se.Run()
-		return log
+	})
+	// Seed: every endpoint fires one initial message to its neighbor.
+	for e := int32(0); e < eps; e++ {
+		e := e
+		eng := se.Group(int(e))
+		dst := (e + 1) % eps
+		eng.At(Tick(e), func() {
+			se.Outbox(int(e)).Post(ports[e], dst, dst,
+				eng.Now()+60, Payload{U0: e, U1: 0}, nil)
+		})
 	}
-	base := run(1)
+	se.Run()
+	return log
+}
+
+// TestMailboxPlacementInvariance runs the same message-driven workload at
+// several worker counts AND under adversarial placement policies — all on
+// one worker, reversed round-robin, random assignments — and requires each
+// endpoint to observe an identical message sequence. (A single global order
+// is NOT part of the contract: components in different groups may interleave
+// freely within a window precisely because they share no state.)
+func TestMailboxPlacementInvariance(t *testing.T) {
+	base := pingWorkload(1, nil)
 	total := 0
 	for _, seq := range base {
 		total += len(seq)
@@ -125,27 +137,53 @@ func TestMailboxPlacementInvariance(t *testing.T) {
 	if total == 0 {
 		t.Fatal("no deliveries")
 	}
-	for _, n := range []int{2, 4} {
-		got := run(n)
+	check := func(name string, got [][]pingRecord) {
+		t.Helper()
 		for ep := range base {
 			if len(got[ep]) != len(base[ep]) {
-				t.Fatalf("shards=%d endpoint %d saw %d messages, want %d", n, ep, len(got[ep]), len(base[ep]))
+				t.Fatalf("%s: endpoint %d saw %d messages, want %d", name, ep, len(got[ep]), len(base[ep]))
 			}
 			for i := range base[ep] {
 				if got[ep][i] != base[ep][i] {
-					t.Fatalf("shards=%d endpoint %d message %d = %+v, want %+v",
-						n, ep, i, got[ep][i], base[ep][i])
+					t.Fatalf("%s: endpoint %d message %d = %+v, want %+v",
+						name, ep, i, got[ep][i], base[ep][i])
 				}
 			}
 		}
 	}
+	for _, n := range []int{2, 4} {
+		check("dynamic", pingWorkload(n, nil))
+	}
+	policies := map[string]PlacementPolicy{
+		"all-on-one": OneWorkerPlacement,
+		"reverse-round-robin": func(weights []float64, workers int) []int32 {
+			out := make([]int32, len(weights))
+			for g := range out {
+				out[g] = int32((len(weights) - g) % workers)
+			}
+			return out
+		},
+		"random": func(weights []float64, workers int) []int32 {
+			rng := rand.New(rand.NewSource(42))
+			out := make([]int32, len(weights))
+			for g := range out {
+				out[g] = int32(rng.Intn(workers))
+			}
+			return out
+		},
+	}
+	for name, p := range policies {
+		check(name, pingWorkload(3, p))
+	}
 }
 
 // TestMailboxSlotReuse drives steady-state traffic over many windows and
-// requires the inbox pools to stop growing: no leaks across windows, slots
-// and address buffers recycled.
+// requires the calendar envelope pools to stop growing: no leaks across
+// windows, slots and address buffers recycled.
 func TestMailboxSlotReuse(t *testing.T) {
 	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
 	p0, p1 := se.NewPort(), se.NewPort()
 	addrs := []uint64{1, 2, 3, 4}
 	var delivered int
@@ -154,16 +192,16 @@ func TestMailboxSlotReuse(t *testing.T) {
 		if env.P.U1 >= 400 {
 			return
 		}
-		// Bounce back: the handler runs on the receiving shard, so it posts
-		// from that shard's outbox using that shard's clock.
+		// Bounce back: the handler runs on the receiving group's engine, so
+		// it posts from that group's outbox using that group's clock.
 		if env.Endpoint == 0 {
-			se.Outbox(0).Post(p0, 1, 1, se.Shard(0).Now()+60, Payload{U1: env.P.U1 + 1}, addrs)
+			se.Outbox(0).Post(p0, 1, 1, se.Group(0).Now()+60, Payload{U1: env.P.U1 + 1}, addrs)
 		} else {
-			se.Outbox(1).Post(p1, 0, 0, se.Shard(1).Now()+60, Payload{U1: env.P.U1 + 1}, addrs)
+			se.Outbox(1).Post(p1, 0, 0, se.Group(1).Now()+60, Payload{U1: env.P.U1 + 1}, addrs)
 		}
 	})
-	// Bootstrap: shard 1 posts the first message.
-	se.Shard(1).At(0, func() {
+	// Bootstrap: group 1 posts the first message.
+	se.Group(1).At(0, func() {
 		se.Outbox(1).Post(p1, 0, 0, 60, Payload{U1: 0}, addrs)
 	})
 	se.Run()
@@ -174,15 +212,17 @@ func TestMailboxSlotReuse(t *testing.T) {
 		t.Errorf("%d messages leaked after drain", se.PendingMessages())
 	}
 	if cap0 := se.InboxCapacity(0); cap0 > 4 {
-		t.Errorf("inbox grew to %d slots under ping-pong traffic (want <= 4)", cap0)
+		t.Errorf("envelope arena grew to %d slots under ping-pong traffic (want <= 4)", cap0)
 	}
 }
 
 // TestMailboxSteadyStateZeroAlloc re-runs a warmed message cycle and
-// requires zero heap allocations: outbox rings, merge scratch, inbox slots,
-// and engine events must all recycle.
+// requires zero heap allocations: outbox rings, merge scratch, calendar
+// envelope slots, per-window plans, and engine events must all recycle.
 func TestMailboxSteadyStateZeroAlloc(t *testing.T) {
 	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
 	p0, p1 := se.NewPort(), se.NewPort()
 	addrs := []uint64{1, 2, 3}
 	remaining := 0
@@ -192,23 +232,23 @@ func TestMailboxSteadyStateZeroAlloc(t *testing.T) {
 		}
 		remaining--
 		if env.Endpoint == 0 {
-			se.Outbox(0).Post(p0, 1, 1, se.Shard(0).Now()+60, Payload{}, addrs)
+			se.Outbox(0).Post(p0, 1, 1, se.Group(0).Now()+60, Payload{}, addrs)
 		} else {
-			se.Outbox(1).Post(p1, 0, 0, se.Shard(1).Now()+60, Payload{}, addrs)
+			se.Outbox(1).Post(p1, 0, 0, se.Group(1).Now()+60, Payload{}, addrs)
 		}
 	})
 	cycle := func() {
-		// Shard clocks drift apart once queues drain (idle shards stop
+		// Group clocks drift apart once queues drain (idle groups stop
 		// advancing); align them before re-seeding so the bootstrap post's
-		// delivery time is in every shard's future.
+		// delivery time is in every group's future.
 		var end Tick
-		for i := 0; i < se.Shards(); i++ {
-			if now := se.Shard(i).Now(); now > end {
+		for i := 0; i < se.Groups(); i++ {
+			if now := se.Group(i).Now(); now > end {
 				end = now
 			}
 		}
-		for i := 0; i < se.Shards(); i++ {
-			se.Shard(i).RunUntil(end)
+		for i := 0; i < se.Groups(); i++ {
+			se.Group(i).RunUntil(end)
 		}
 		remaining = 50
 		se.Outbox(0).Post(p0, 1, 1, end+60, Payload{}, addrs)
@@ -224,6 +264,8 @@ func TestMailboxSteadyStateZeroAlloc(t *testing.T) {
 // message delivered inside the current window is a modelling bug.
 func TestMailboxLookaheadViolationPanics(t *testing.T) {
 	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
 	port := se.NewPort()
 	se.SetDeliver(func(Envelope) {})
 	defer func() {
@@ -231,7 +273,7 @@ func TestMailboxLookaheadViolationPanics(t *testing.T) {
 			t.Error("short-latency Post did not panic")
 		}
 	}()
-	se.Shard(0).At(10, func() {
+	se.Group(0).At(10, func() {
 		// Window is [10, 60); delivery at 20 violates the lookahead.
 		se.Outbox(0).Post(port, 1, 1, 20, Payload{}, nil)
 	})
@@ -242,11 +284,13 @@ func TestMailboxLookaheadViolationPanics(t *testing.T) {
 // increasing window-end times.
 func TestBarrierHookTimes(t *testing.T) {
 	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
 	port := se.NewPort()
 	se.SetDeliver(func(env Envelope) {})
 	var barriers []Tick
 	se.SetBarrier(func(at Tick) { barriers = append(barriers, at) })
-	se.Shard(0).At(0, func() {
+	se.Group(0).At(0, func() {
 		se.Outbox(0).Post(port, 1, 1, 60, Payload{}, nil)
 	})
 	se.Run()
@@ -260,10 +304,12 @@ func TestBarrierHookTimes(t *testing.T) {
 	}
 }
 
-// BenchmarkMailboxPingPong measures cross-shard message cost: one message
-// bounced between two shards through the full window/merge/inject cycle.
+// BenchmarkMailboxPingPong measures cross-group message cost: one message
+// bounced between two groups through the full window/merge/inject cycle.
 func BenchmarkMailboxPingPong(b *testing.B) {
 	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
 	p0, p1 := se.NewPort(), se.NewPort()
 	addrs := []uint64{1, 2, 3, 4}
 	remaining := 0
@@ -273,20 +319,20 @@ func BenchmarkMailboxPingPong(b *testing.B) {
 		}
 		remaining--
 		if env.Endpoint == 0 {
-			se.Outbox(0).Post(p0, 1, 1, se.Shard(0).Now()+60, Payload{}, addrs)
+			se.Outbox(0).Post(p0, 1, 1, se.Group(0).Now()+60, Payload{}, addrs)
 		} else {
-			se.Outbox(1).Post(p1, 0, 0, se.Shard(1).Now()+60, Payload{}, addrs)
+			se.Outbox(1).Post(p1, 0, 0, se.Group(1).Now()+60, Payload{}, addrs)
 		}
 	})
 	sync := func() Tick {
 		var end Tick
-		for i := 0; i < se.Shards(); i++ {
-			if now := se.Shard(i).Now(); now > end {
+		for i := 0; i < se.Groups(); i++ {
+			if now := se.Group(i).Now(); now > end {
 				end = now
 			}
 		}
-		for i := 0; i < se.Shards(); i++ {
-			se.Shard(i).RunUntil(end)
+		for i := 0; i < se.Groups(); i++ {
+			se.Group(i).RunUntil(end)
 		}
 		return end
 	}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// encodedFixture returns a serialized trace with both weighted and
+// unweighted bags, plus the decoded original for comparison.
+func encodedFixture(t *testing.T) ([]byte, *Trace) {
+	t.Helper()
+	tr := &Trace{
+		Name:         "corruption-fixture",
+		Tables:       3,
+		RowsPerTable: 64,
+		Bags: []Bag{
+			{Table: 0, Indices: []uint32{1, 5, 9}},
+			{Table: 2, Indices: []uint32{0, 63}, Weights: []float32{0.5, -1.25}},
+			{Table: 1, Indices: []uint32{7}},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tr
+}
+
+// TestFileTruncationAtEveryOffset cuts the encoding at every byte boundary
+// and requires a clean error from Read — never a panic, never a silently
+// short trace.
+func TestFileTruncationAtEveryOffset(t *testing.T) {
+	full, _ := encodedFixture(t)
+	for cut := 0; cut < len(full); cut++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Read panicked on truncation at %d/%d: %v", cut, len(full), p)
+				}
+			}()
+			got, err := Read(bytes.NewReader(full[:cut]))
+			if err == nil {
+				t.Errorf("truncation at %d/%d accepted: %+v", cut, len(full), got)
+			}
+		}()
+	}
+}
+
+// TestFileRoundTripSurvivesFullEncoding pins the fixture round trip,
+// including weights and negative values.
+func TestFileRoundTripSurvivesFullEncoding(t *testing.T) {
+	full, want := encodedFixture(t)
+	got, err := Read(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.Tables != want.Tables || got.RowsPerTable != want.RowsPerTable {
+		t.Fatalf("header mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.Bags) != len(want.Bags) {
+		t.Fatalf("bag count %d, want %d", len(got.Bags), len(want.Bags))
+	}
+	if w := got.Bags[1].Weights; len(w) != 2 || w[0] != 0.5 || w[1] != -1.25 {
+		t.Errorf("weights corrupted: %v", w)
+	}
+}
+
+// corruptU32 overwrites a little-endian u32 at off.
+func corruptU32(data []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(out[off:], v)
+	return out
+}
+
+// TestFileRejectsCorruptHeaders flips header fields to implausible or
+// inconsistent values and requires errors: bad magic, absurd bag counts,
+// absurd bag sizes, and out-of-range indices (caught by Validate).
+func TestFileRejectsCorruptHeaders(t *testing.T) {
+	full, tr := encodedFixture(t)
+	nameOff := 8 + 2
+	tablesOff := nameOff + len(tr.Name)
+	rowsOff := tablesOff + 4
+	nbagsOff := rowsOff + 8
+	firstBagOff := nbagsOff + 8
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad magic", func() []byte {
+			d := append([]byte(nil), full...)
+			d[0] = 'X'
+			return d
+		}()},
+		{"implausible bag count", func() []byte {
+			d := append([]byte(nil), full...)
+			binary.LittleEndian.PutUint64(d[nbagsOff:], 1<<40)
+			return d
+		}()},
+		{"bag count beyond payload", func() []byte {
+			d := append([]byte(nil), full...)
+			binary.LittleEndian.PutUint64(d[nbagsOff:], uint64(len(tr.Bags)+7))
+			return d
+		}()},
+		{"implausible bag size", corruptU32(full, firstBagOff+4+1, 1<<24)},
+		{"out-of-range table", corruptU32(full, firstBagOff, 9000)},
+		{"out-of-range row index", corruptU32(full, firstBagOff+4+1+4, 1<<30)},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("%s: Read panicked: %v", c.name, p)
+				}
+			}()
+			if got, err := Read(bytes.NewReader(c.data)); err == nil {
+				t.Errorf("%s: accepted as %+v", c.name, got)
+			}
+		}()
+	}
+}
+
+// TestFileRejectsTrailingTruncationInWeights cuts inside the weighted
+// bag's weight array specifically — the last variable-length section.
+func TestFileRejectsTrailingTruncationInWeights(t *testing.T) {
+	full, _ := encodedFixture(t)
+	// The fixture's final section is bag 3; cut mid-way through bag 2's
+	// weights by locating the last 12 bytes of bag 2 heuristically: just
+	// exercise a band of cuts in the middle third, which spans it.
+	for cut := len(full) / 3; cut < 2*len(full)/3; cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+	}
+}
+
+// TestFileErrorsNameBagIndex checks error text mentions where decoding
+// failed, which is what makes corrupt-trace reports actionable.
+func TestFileErrorsNameBagIndex(t *testing.T) {
+	full, _ := encodedFixture(t)
+	_, err := Read(bytes.NewReader(full[:len(full)-2]))
+	if err == nil {
+		t.Fatal("truncated tail accepted")
+	}
+	if !strings.Contains(err.Error(), "bag") {
+		t.Errorf("error %q does not locate the failing bag", err)
+	}
+}

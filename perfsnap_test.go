@@ -1,14 +1,15 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_3.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_5.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
-// path allocation behavior, sharded-kernel scaling, figure wall-clocks,
-// vectorized-math kernels). It only runs when explicitly requested, because
-// it spends bench time:
+// path allocation behavior, sharded-kernel scaling, placement-matrix
+// wall-clocks, figure wall-clocks, vectorized-math kernels, numasim model
+// parity). It only runs when explicitly requested, because it spends bench
+// time:
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_3.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_5.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
@@ -23,6 +24,8 @@ import (
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/engine"
 	"pifsrec/internal/harness"
+	"pifsrec/internal/numasim"
+	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 	"pifsrec/internal/vecmath"
 )
@@ -34,11 +37,11 @@ type benchLine struct {
 }
 
 type benchSnapshot struct {
-	PR          int                   `json:"pr"`
-	Command     string                `json:"command"`
-	Go          string                `json:"go"`
-	CPU         string                `json:"cpu"`
-	GOMAXPROCS  int                   `json:"gomaxprocs"`
+	PR          int    `json:"pr"`
+	Command     string `json:"command"`
+	Go          string `json:"go"`
+	CPU         string `json:"cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
 	EventKernel struct {
 		NsPerEvent   float64 `json:"ns_per_event"`
 		EventsPerSec float64 `json:"events_per_sec"`
@@ -59,6 +62,14 @@ type benchSnapshot struct {
 	// wall-clock scaling. Meaningful only when GOMAXPROCS covers the shard
 	// count.
 	ShardedWallMs map[string]float64 `json:"sharded_wall_ms"`
+	// PlacementWallMs is the same configuration at 4 shards under the
+	// cost-balanced dynamic default, static round-robin (PR 3's dealing),
+	// and a worst-case one-worker pile-up; byte-identical tables, pure
+	// scheduling ratios.
+	PlacementWallMs map[string]float64 `json:"placement_wall_ms"`
+	// NumasimParityWorstPct is the worst |event-analytic|/analytic AppGBs
+	// delta across the full numasim seed sweep, in percent.
+	NumasimParityWorstPct float64 `json:"numasim_parity_worst_pct"`
 }
 
 func toLine(r testing.BenchmarkResult) benchLine {
@@ -90,7 +101,7 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 
 	var snap benchSnapshot
-	snap.PR = 3
+	snap.PR = 5
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -187,13 +198,45 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		snap.ShardedWallMs[fmt.Sprintf("shards=%d", n)] = float64(r.NsPerOp()) / 1e6
 	}
 
+	// Placement matrix at 4 shards.
+	snap.PlacementWallMs = map[string]float64{}
+	placements := []struct {
+		name   string
+		policy sim.PlacementPolicy
+	}{
+		{"balanced", nil},
+		{"round-robin", sim.RoundRobinPlacement},
+		{"one-worker", sim.OneWorkerPlacement},
+	}
+	for _, pl := range placements {
+		pl := pl
+		r := testing.Benchmark(func(b *testing.B) {
+			cfg := engine.Config{Scheme: engine.PIFSRec, Model: m, Trace: bigTr,
+				Seed: 3, Devices: 8, EpochBags: 16, Shards: 4, Placement: pl.policy}
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snap.PlacementWallMs[pl.name] = float64(r.NsPerOp()) / 1e6
+	}
+
+	// Numasim model parity (the gate behind pifsbench -model) — the same
+	// figure the numasim-parity experiment note prints.
+	worst, err := numasim.WorstSeedParityPct(numasim.Genoa())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.NumasimParityWorstPct = worst
+
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_3.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_5.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_3.json: %.1fM events/sec, request path %d allocs/op\n",
+	fmt.Printf("wrote BENCH_5.json: %.1fM events/sec, request path %d allocs/op\n",
 		snap.EventKernel.EventsPerSec/1e6, snap.RequestPath.AllocsPerOp)
 }
