@@ -42,6 +42,14 @@ func main() {
 	if flag.NArg() > 0 { // positional form: pifsbench fig12a
 		id = flag.Arg(0)
 	}
+	// Unknown ids are a usage error: fail fast with the valid set and exit
+	// code 2 before any sweep starts.
+	if id != "all" {
+		if _, ok := harness.Experiments()[id]; !ok {
+			fmt.Fprintf(os.Stderr, "pifsbench: unknown experiment %q (have %v)\n", id, harness.IDs())
+			os.Exit(2)
+		}
+	}
 	var err error
 	if id == "all" {
 		err = harness.RunAll(os.Stdout)

@@ -27,7 +27,30 @@ func main() {
 	hosts := flag.Int("hosts", 1, "concurrent hosts")
 	buffer := flag.Int("buffer", 512<<10, "on-switch buffer bytes (PIFS-Rec)")
 	shards := flag.Int("shards", 1, "engine shards (conservative-window intra-sim parallelism; results are identical at any count and placement)")
+	faults := flag.String("faults", "", "fault-injection plan (JSON file; see internal/fault)")
 	flag.Parse()
+
+	// Flag validation fails fast with actionable messages and exit code 2
+	// (usage error), before any simulation state is assembled.
+	switch pifsrec.Scheme(*scheme) {
+	case pifsrec.Pond, pifsrec.PondPM, pifsrec.BEACON, pifsrec.RecNMP, pifsrec.PIFSRec:
+	default:
+		fmt.Fprintf(os.Stderr, "pifssim: unknown -scheme %q (have %v)\n", *scheme, pifsrec.Schemes())
+		os.Exit(2)
+	}
+	if *batches < 1 {
+		fmt.Fprintf(os.Stderr, "pifssim: -batches %d must be at least 1\n", *batches)
+		os.Exit(2)
+	}
+	if *scale < 1 {
+		fmt.Fprintf(os.Stderr, "pifssim: -scale %d must be at least 1 (it divides the model's row counts)\n", *scale)
+		os.Exit(2)
+	}
+	if *devices < 1 || *switches < 1 || *hosts < 1 {
+		fmt.Fprintf(os.Stderr, "pifssim: -devices %d, -switches %d, and -hosts %d must all be at least 1\n",
+			*devices, *switches, *hosts)
+		os.Exit(2)
+	}
 
 	// Shards outside [1, component groups] buy nothing and usually mean a
 	// typo'd flag — reject with the actual bound instead of silently
@@ -51,8 +74,29 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "pifssim: unknown model %q\n", *model)
+		names := make([]string, 0, 4)
+		for _, cand := range pifsrec.Models() {
+			names = append(names, cand.Name)
+		}
+		fmt.Fprintf(os.Stderr, "pifssim: unknown -model %q (have %v)\n", *model, names)
 		os.Exit(2)
+	}
+
+	// The fault plan is validated against the topology the flags assemble
+	// before anything runs, so a plan naming an unknown link or an
+	// out-of-range device/channel/switch fails here with the valid range.
+	var plan *pifsrec.FaultPlan
+	if *faults != "" {
+		var err error
+		plan, err = pifsrec.LoadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifssim:", err)
+			os.Exit(2)
+		}
+		if err := pifsrec.ValidateFaultPlan(plan, bound); err != nil {
+			fmt.Fprintf(os.Stderr, "pifssim: -faults %s: %v\n", *faults, err)
+			os.Exit(2)
+		}
 	}
 
 	var tr *pifsrec.Trace
@@ -76,6 +120,7 @@ func main() {
 		Hosts:       *hosts,
 		Shards:      *shards,
 		BufferBytes: *buffer,
+		Faults:      plan,
 		Seed:        1,
 	})
 	if err != nil {
@@ -90,4 +135,10 @@ func main() {
 	fmt.Printf("buffer hit ratio: %.1f%%; pages migrated: %d; migration stall: %d ns\n",
 		100*res.BufferHitRatio, res.PagesMigrated, res.MigrationStallNS)
 	fmt.Printf("device access balance: mean %.0f, std %.0f\n", res.DeviceAccessMean, res.DeviceAccessStd)
+	if plan != nil {
+		fmt.Printf("faults: %d retries, %d timeouts, %d aborted rows, %d aborted bags, %d rerouted rows\n",
+			res.FaultRetries, res.FaultTimeouts, res.AbortedRows, res.AbortedBags, res.ReroutedRows)
+		fmt.Printf("faults: degraded %.1f%% of the run; goodput %.0f bags/s; link stall %d ns\n",
+			100*res.DegradedFraction, res.GoodputBagsPerSec, res.LinkFaultStallNS)
+	}
 }

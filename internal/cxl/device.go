@@ -19,10 +19,20 @@ type Type3Device struct {
 	ID     int
 	PortID uint16
 
+	eng *sim.Engine
 	ctl *dram.Controller
 	// ctrlNS is the CXL controller processing overhead applied to each
 	// access on the device side.
 	ctrlNS sim.Tick
+
+	// Fault windows (injected as calendar events on the device's group
+	// engine). While downUntil is in the future the device drops requests on
+	// the floor — the requester's timeout/retry machinery recovers or aborts.
+	// While slowUntil is in the future each access pays slowExtraNS more
+	// controller overhead (latency-inflation fault).
+	downUntil   sim.Tick
+	slowUntil   sim.Tick
+	slowExtraNS sim.Tick
 
 	// Message-mode wiring (sharded fabric): reads arrive as KindDevRead
 	// envelopes and the vector returns as a KindDevData message on reply.
@@ -50,6 +60,9 @@ const (
 type DeviceStats struct {
 	Reads  int64
 	Writes int64
+	// Dropped counts requests discarded while the device was in a fail
+	// window (device-fail injection).
+	Dropped int64
 }
 
 // DeviceConfig parameterizes a Type 3 expander.
@@ -78,6 +91,7 @@ func NewType3(eng *sim.Engine, cfg DeviceConfig) *Type3Device {
 	return &Type3Device{
 		ID:     cfg.ID,
 		PortID: cfg.PortID,
+		eng:    eng,
 		ctl:    ctl,
 		ctrlNS: ctrl,
 		group:  cfg.Group,
@@ -161,12 +175,45 @@ func (d *Type3Device) HandleMsg(env sim.Envelope) {
 	if d.reply == nil {
 		panic(fmt.Sprintf("cxl: device %d HandleMsg without Bind", d.ID))
 	}
+	if d.downUntil > d.eng.Now() {
+		d.stats.Dropped++
+		return
+	}
 	addr := env.P.A
 	if end := addr + uint64(d.vecBytes); end > uint64(d.Capacity()) || end < addr {
 		panic(fmt.Sprintf("cxl: device %d access [%#x, %#x) beyond capacity %#x", d.ID, addr, end, d.Capacity()))
 	}
 	d.stats.Reads += int64(d.vecBytes / 64)
-	d.ctl.SubmitRangeCall(addr, d.vecBytes, false, d.ctrlNS, d.fnDone, env.P.U0)
+	extra := d.ctrlNS
+	if d.slowUntil > d.eng.Now() {
+		extra += d.slowExtraNS
+	}
+	d.ctl.SubmitRangeCall(addr, d.vecBytes, false, extra, d.fnDone, env.P.U0)
+}
+
+// FaultDown opens (or extends) a fail window: requests arriving before until
+// are silently dropped, leaving recovery to the requester's retry protocol.
+func (d *Type3Device) FaultDown(until sim.Tick) {
+	if until > d.downUntil {
+		d.downUntil = until
+	}
+}
+
+// FaultSlow opens (or extends) a latency-inflation window: accesses arriving
+// before until pay extraNS additional controller overhead.
+func (d *Type3Device) FaultSlow(until sim.Tick, extraNS sim.Tick) {
+	if until > d.slowUntil {
+		d.slowUntil = until
+	}
+	if extraNS > d.slowExtraNS {
+		d.slowExtraNS = extraNS
+	}
+}
+
+// FaultChannelOffline takes one backing DRAM channel offline until the given
+// time: its queued and arriving requests sit until the channel returns.
+func (d *Type3Device) FaultChannelOffline(ch int, until sim.Tick) {
+	d.ctl.SetChannelOffline(ch, until)
 }
 
 // String describes the device.

@@ -52,6 +52,10 @@ type Link struct {
 	bytesPerNS float64
 	propNS     sim.Tick
 	freeAt     sim.Tick
+	// downUntil is the end of the current fault window: transfers starting
+	// inside it are delayed to its close (the link layer retrains and
+	// replays transparently — slow, never lossy). Zero when healthy.
+	downUntil sim.Tick
 
 	// mailbox mode wiring (nil out = closure mode only)
 	out         *sim.Outbox
@@ -68,6 +72,10 @@ type LinkStats struct {
 	BytesMoved int64
 	BusyNS     sim.Tick // serialization occupancy
 	WaitNS     sim.Tick // time transfers spent queued for the lanes
+	// FaultStallNS / FaultedTransfers account transfers delayed by a fault
+	// window (link-flap injection).
+	FaultStallNS     sim.Tick
+	FaultedTransfers int64
 }
 
 // NewLink builds a link with bandwidth in GB/s (== bytes/ns) and one-way
@@ -145,6 +153,11 @@ func (l *Link) occupy(bytes int) sim.Tick {
 	if l.freeAt > start {
 		start = l.freeAt
 	}
+	if l.downUntil > start {
+		l.stats.FaultStallNS += l.downUntil - start
+		l.stats.FaultedTransfers++
+		start = l.downUntil
+	}
 	ser := l.serNS(bytes)
 	l.freeAt = start + ser
 	arrive := l.freeAt + l.propNS
@@ -154,6 +167,16 @@ func (l *Link) occupy(bytes int) sim.Tick {
 	l.stats.BusyNS += ser
 	l.stats.WaitNS += start - now
 	return arrive
+}
+
+// FaultDown opens (or extends) a fault window on the link: transfers
+// starting before until are pushed to it. Call from a calendar event on the
+// link owner's group engine so the transition is an ordinary deterministic
+// event.
+func (l *Link) FaultDown(until sim.Tick) {
+	if until > l.downUntil {
+		l.downUntil = until
+	}
 }
 
 // Utilization returns the fraction of [0, now] the serialization stage was

@@ -203,6 +203,23 @@ func (c *Controller) enqueueLine(addr uint64, write bool, batch int32) {
 	ch.enqueue(id)
 }
 
+// SetChannelOffline parks channel idx until the given time (fault
+// injection): its service loop defers itself past the window, so in-flight
+// queue contents stall rather than drop. Extends, never shortens, an open
+// window. Panics on an out-of-range channel index.
+func (c *Controller) SetChannelOffline(idx int, until sim.Tick) {
+	if idx < 0 || idx >= len(c.chans) {
+		panic(fmt.Sprintf("dram: channel %d out of range [0,%d)", idx, len(c.chans)))
+	}
+	ch := c.chans[idx]
+	if until > ch.offlineUntil {
+		ch.offlineUntil = until
+	}
+	if ch.q.n > 0 {
+		ch.kick(until)
+	}
+}
+
 // PeakBandwidthGBs returns the node's aggregate theoretical bandwidth.
 func (c *Controller) PeakBandwidthGBs() float64 {
 	return c.tim.PeakBandwidthGBs() * float64(c.geo.Channels)
@@ -238,6 +255,10 @@ type channel struct {
 	busFree sim.Tick
 	q       reqRing
 	kicked  bool
+	// offlineUntil parks the channel during a fault window: service() defers
+	// itself to the window's close, so queued and arriving requests wait out
+	// the outage instead of being lost.
+	offlineUntil sim.Tick
 	// serviceThunk is the one closure this channel ever schedules; reusing
 	// it keeps the kick path allocation-free.
 	serviceThunk func()
@@ -324,6 +345,10 @@ func (ch *channel) refreshAdjust(t sim.Tick) sim.Tick {
 // slot is recycled immediately; completion is accounted on the line's batch.
 func (ch *channel) service() {
 	now := ch.eng.Now()
+	if ch.offlineUntil > now {
+		ch.kick(ch.offlineUntil)
+		return
+	}
 	for ch.q.n > 0 {
 		// Back-pressure: when the data bus is booked out past the lookahead
 		// window, resume once it drains back inside it.

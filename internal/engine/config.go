@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"pifsrec/internal/dlrm"
+	"pifsrec/internal/fault"
 	"pifsrec/internal/osb"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
@@ -104,6 +105,12 @@ type Config struct {
 	// TPPPolicy switches page management to the TPP baseline (Fig 13(d)).
 	TPPPolicy bool
 
+	// Faults is an optional fault-injection plan (see internal/fault). Nil
+	// — or a plan with no events — runs the byte-identical fault-free
+	// protocol; a non-empty plan is validated against the assembled
+	// topology and arms the switches' timeout/retry machinery.
+	Faults *fault.Plan
+
 	Seed uint64
 }
 
@@ -190,6 +197,15 @@ func (c *Config) fillDefaults() error {
 		return fmt.Errorf("engine: trace shape (%d tables × %d rows) does not match model (%d × %d)",
 			c.Trace.Tables, c.Trace.RowsPerTable, c.Model.Tables, c.Model.EmbRows)
 	}
+	if c.Faults != nil {
+		if c.Faults.Empty() {
+			// An empty plan IS the no-fault plan; drop it so the engine runs
+			// the byte-identical plain protocol.
+			c.Faults = nil
+		} else if err := c.Faults.Validate(FaultTopology(*c)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -218,6 +234,18 @@ type Result struct {
 	LocalShare        float64 // fraction of row accesses served locally
 	DeviceAccessStd   float64
 	DeviceAccessMean  float64
+
+	// Fault-degradation accounting (all zero without a fault plan).
+	FaultTimeouts     int64 // device reads whose reply timer expired
+	FaultRetries      int64 // timed-out reads re-issued with backoff
+	AbortedRows       int64 // reads abandoned after the retry budget
+	StaleReplies      int64 // late replies dropped by the generation check
+	DeviceDropped     int64 // requests discarded by failed devices
+	ReroutedRows      int64 // rows served from host DRAM while their switch was down
+	LinkFaultStallNS  int64 // transfer time lost to link-flap windows
+	AbortedBags       int   // bags that completed degraded
+	DegradedFraction  float64 // share of the run inside any fault window
+	GoodputBagsPerSec float64 // non-degraded bags per simulated second
 }
 
 // String summarizes a result.

@@ -7,6 +7,7 @@ import (
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/dram"
 	"pifsrec/internal/fabric"
+	"pifsrec/internal/fault"
 	"pifsrec/internal/osb"
 	"pifsrec/internal/pifs"
 	"pifsrec/internal/sim"
@@ -68,6 +69,12 @@ type system struct {
 	hosts    []*host
 	vecBytes int
 
+	// Fault injection (nil without a plan): the compiled immutable window
+	// schedule hosts consult for re-routing, and every wired link by name
+	// for flap targeting and stall accounting.
+	faultSched *fault.Schedule
+	links      map[string]linkRef
+
 	// pageBlockedUntil[page] is the time a migrating page becomes
 	// accessible again; accesses landing earlier wait (§IV-B4: the OS marks
 	// a migrating page non-accessible; cache-line-block shrinks the window).
@@ -112,6 +119,7 @@ func (s *system) deviceEndpoint(d int) int32 {
 // lifetime — bag dispatch allocates nothing.
 type bagRec struct {
 	parts      int8
+	aborted    bool // a remote part returned degraded (fault abort)
 	remoteLeft int32
 	remoteRows int32
 	localRows  int32
@@ -174,6 +182,12 @@ type host struct {
 	migrationWaitNS int64
 	recAddrs        []uint64
 
+	// Fault-degradation accounting: rows re-routed to the host-DRAM
+	// fallback because their switch was stalled, and bags that completed
+	// with at least one aborted remote part.
+	reroutedRows int64
+	abortedBags  int
+
 	recs    [64]bagRec
 	scratch [64]bagScratch
 
@@ -223,7 +237,12 @@ func (h *host) HandleMsg(env sim.Envelope) {
 	case fabric.KindRowData:
 		// One remote row vector arrived over the FlexBus (host-side
 		// schemes); the last one starts the CPU fold of the remote set.
+		// Flag marks a read the switch aborted after its retry budget —
+		// the bag still completes, degraded.
 		rec := &h.recs[env.P.Tag]
+		if env.P.Flag != 0 {
+			rec.aborted = true
+		}
 		rec.remoteLeft--
 		if rec.remoteLeft == 0 {
 			h.accumulatePart(int(rec.remoteRows), int32(env.P.Tag))
@@ -231,6 +250,10 @@ func (h *host) HandleMsg(env sim.Envelope) {
 	case fabric.KindPIFSResult:
 		// The accumulated sum landed in the reserved address; the snooping
 		// daemon notices shortly after, then merges it at one row's cost.
+		// Flag marks a degraded sum (some candidate aborted in the fabric).
+		if env.P.Flag != 0 {
+			h.recs[env.P.Tag].aborted = true
+		}
 		h.eng.AtCall(h.eng.Now()+snoopNS, h.fnSnoop, int32(env.P.Tag))
 	default:
 		panic(fmt.Sprintf("engine: host %d got message kind %#x", h.id, env.P.Kind))
@@ -277,6 +300,9 @@ func (h *host) bagComplete(tag uint8, at sim.Tick) {
 	h.outstanding--
 	h.completed++
 	h.bagsDone++
+	if h.recs[tag].aborted {
+		h.abortedBags++
+	}
 	h.freeTags = append(h.freeTags, tag)
 	if at > h.finish {
 		h.finish = at
@@ -444,6 +470,9 @@ func build(cfg Config) (*system, error) {
 	}
 
 	s.wireLinks()
+	if cfg.Faults != nil {
+		s.armFaults(cfg.Faults)
+	}
 
 	// Page moves invalidate cached row vectors on every buffered switch and
 	// block the page for the migration window. Migrations run only at
@@ -514,10 +543,12 @@ func (s *system) register() {
 // every shard count.
 func (s *system) wireLinks() {
 	// Endpoint == group, so a link's destination group is its endpoint.
+	s.links = make(map[string]linkRef)
 	newLink := func(owner int32, name string, gbps float64, prop sim.Tick, dst int32) *cxl.Link {
 		eng := s.se.Group(int(owner))
 		l := cxl.NewLink(eng, name, gbps, prop)
 		l.Bind(s.se.Outbox(int(owner)), s.se.NewPort(), dst, dst)
+		s.links[name] = linkRef{l: l, eng: eng}
 		return l
 	}
 
@@ -664,7 +695,20 @@ func Run(cfg Config) (Result, error) {
 	for _, h := range s.hosts {
 		h.pump()
 	}
-	s.se.Run()
+	if _, err := s.se.RunChecked(); err != nil {
+		return Result{}, err
+	}
+	// Drain watchdog: the calendars emptied, so any outstanding bag means a
+	// completion was lost somewhere — report it instead of returning a
+	// silently-truncated result.
+	for _, h := range s.hosts {
+		if h.completed != len(h.bags) {
+			return Result{}, &StallError{
+				Host: h.id, Completed: h.completed,
+				Total: len(h.bags), Outstanding: h.outstanding,
+			}
+		}
+	}
 
 	return s.collect(), nil
 }
@@ -752,5 +796,30 @@ func (s *system) collect() Result {
 	r.PagesMigrated = s.mgr.Stats().PagesMigrated
 	r.LocalShare = s.mgr.LocalShareOfAccesses()
 	r.DeviceAccessMean, r.DeviceAccessStd = s.mgr.DeviceAccessStdDev()
+
+	// Fault-degradation accounting (all zero without a plan).
+	for _, sw := range s.switches {
+		st := sw.Stats()
+		r.FaultRetries += st.FaultRetries
+		r.FaultTimeouts += st.FaultTimeouts
+		r.AbortedRows += st.AbortedReads
+		r.StaleReplies += st.StaleReplies
+	}
+	for _, dev := range s.devs {
+		r.DeviceDropped += dev.Stats().Dropped
+	}
+	for _, h := range s.hosts {
+		r.ReroutedRows += h.reroutedRows
+		r.AbortedBags += h.abortedBags
+	}
+	for _, ref := range s.links {
+		r.LinkFaultStallNS += int64(ref.l.Stats().FaultStallNS)
+	}
+	if r.Bags > 0 && r.TotalNS > 0 {
+		r.GoodputBagsPerSec = float64(r.Bags-r.AbortedBags) / float64(r.TotalNS) * 1e9
+	}
+	if s.faultSched != nil && r.TotalNS > 0 {
+		r.DegradedFraction = float64(s.faultSched.DegradedNS(int64(r.TotalNS))) / float64(r.TotalNS)
+	}
 	return r
 }

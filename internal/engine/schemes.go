@@ -64,6 +64,24 @@ func (s *system) runBag(h *host, bag trace.Bag, tag uint8) {
 // batch, and the scheme's remote path.
 func (s *system) execBag(h *host, tag uint8) {
 	sc := &h.scratch[tag]
+	// Graceful degradation: rows bound for a switch inside a stall window
+	// are re-routed to the host-DRAM fallback tier instead of being sent
+	// into a frozen decoder. The decision reads the compiled immutable
+	// fault schedule at this host's local time, so it is identical at every
+	// shard count and placement.
+	if s.faultSched != nil && sc.remote > 0 {
+		now := h.eng.Now()
+		for swIdx := range sc.bySwitch {
+			rows := sc.bySwitch[swIdx]
+			if len(rows) == 0 || !s.faultSched.SwitchDown(swIdx, int64(now)) {
+				continue
+			}
+			sc.local = append(sc.local, rows...)
+			sc.remote -= len(rows)
+			sc.bySwitch[swIdx] = rows[:0]
+			h.reroutedRows += int64(len(rows))
+		}
+	}
 	rec := &h.recs[tag]
 	*rec = bagRec{}
 	if sc.cacheHits > 0 {

@@ -104,6 +104,21 @@ type xfer struct {
 	remaining  int32
 	candidates int32
 	tag        uint8
+	// Retry protocol state (fault mode only): attempts counts re-issues of
+	// this read; tmo is the armed reply timer.
+	attempts int32
+	tmo      sim.Event
+}
+
+// FaultParams arms the switch's device-read retry protocol: a read whose
+// reply does not arrive within TimeoutNS is re-issued after an exponential
+// backoff (BackoffNS << attempt), up to MaxRetries times, then aborted. The
+// protocol exists only when a fault plan is active — without one every read
+// gets exactly one reply and the fields stay nil.
+type FaultParams struct {
+	TimeoutNS  sim.Tick
+	BackoffNS  sim.Tick
+	MaxRetries int32
 }
 
 // msgState is the switch's message-mode machinery.
@@ -111,11 +126,25 @@ type msgState struct {
 	net  Net
 	recs []xfer
 	free []int32
+	// gens holds each record's reply generation, parallel to recs. It lives
+	// outside xfer so record reuse (which zeroes the struct) cannot reset
+	// it: a generation only ever increments — on release and on retry — so
+	// a late KindDevData reply for a dead or re-issued read always
+	// mismatches and is dropped instead of corrupting the new occupant.
+	gens []uint8
 
 	fnRoute  func(int32)
 	fnConfig func(int32)
 	fnFetch  func(int32)
 	fnBufHit func(int32)
+
+	// Fault mode (nil without a plan): retry parameters, the timeout
+	// callback, and the set of clusters that completed degraded (at least
+	// one candidate aborted) — consulted when the core's result ships so the
+	// host learns its sum is partial.
+	faults          *FaultParams
+	fnTimeout       func(int32)
+	abortedClusters map[pifs.ClusterKey]struct{}
 }
 
 // BindNet switches the fabric switch into message mode and installs the
@@ -151,10 +180,31 @@ func (m *msgState) alloc() int32 {
 		return id
 	}
 	m.recs = append(m.recs, xfer{})
+	m.gens = append(m.gens, 0)
 	return int32(len(m.recs) - 1)
 }
 
-func (m *msgState) release(id int32) { m.free = append(m.free, id) }
+func (m *msgState) release(id int32) {
+	m.gens[id]++
+	m.free = append(m.free, id)
+}
+
+// SetFaultParams arms the retry protocol. Call once at wiring time, after
+// BindNet, and only when a fault plan is active: arming changes the packed
+// shape of device-read tokens, so fault-free runs must leave it off to stay
+// byte-identical with the plain protocol.
+func (s *Switch) SetFaultParams(p FaultParams) {
+	m := s.msg
+	if m == nil {
+		panic(fmt.Sprintf("fabric: switch %d SetFaultParams without BindNet", s.cfg.ID))
+	}
+	if p.TimeoutNS <= 0 || p.BackoffNS <= 0 || p.MaxRetries < 0 {
+		panic(fmt.Sprintf("fabric: switch %d invalid fault params %+v", s.cfg.ID, p))
+	}
+	m.faults = &p
+	m.fnTimeout = s.msgTimeout
+	m.abortedClusters = make(map[pifs.ClusterKey]struct{})
+}
 
 // HandleMsg dispatches one mailbox message delivered to this switch. It runs
 // on the switch's shard and touches only switch-group state plus the
@@ -164,7 +214,7 @@ func (s *Switch) HandleMsg(env sim.Envelope) {
 	if m == nil {
 		panic(fmt.Sprintf("fabric: switch %d HandleMsg without BindNet", s.cfg.ID))
 	}
-	now := s.eng.Now()
+	now := s.stalledNow()
 	switch env.P.Kind {
 	case KindBypassRow:
 		s.stats.BypassReads++
@@ -180,7 +230,7 @@ func (s *Switch) HandleMsg(env sim.Envelope) {
 		s.stats.PIFSConfigs++
 		key := UnpackKey(env.P.B)
 		resTok := m.alloc()
-		m.recs[resTok] = xfer{kind: xfResult, host: env.P.U0, tag: env.P.Tag}
+		m.recs[resTok] = xfer{kind: xfResult, key: key, host: env.P.U0, tag: env.P.Tag}
 		cfgTok := m.alloc()
 		m.recs[cfgTok] = xfer{kind: xfConfig, key: key, candidates: env.P.U1, srcTok: resTok}
 		s.eng.AtCall(now+s.cfg.DecodeNS, m.fnConfig, cfgTok)
@@ -206,9 +256,9 @@ func (s *Switch) HandleMsg(env sim.Envelope) {
 		src := env.P.U0
 		if s.HasCore() {
 			// Accumulate locally; one partial sum returns to the source.
-			resTok := m.alloc()
-			m.recs[resTok] = xfer{kind: xfPartial, dstSw: src, srcTok: env.P.U1}
 			subKey := UnpackKey(env.P.A)
+			resTok := m.alloc()
+			m.recs[resTok] = xfer{kind: xfPartial, key: subKey, dstSw: src, srcTok: env.P.U1}
 			s.stats.PIFSConfigs++
 			s.Core.ConfigureTok(subKey, len(env.Addrs), m.net.VecBytes, 0, resTok)
 			for _, addr := range env.Addrs {
@@ -227,6 +277,11 @@ func (s *Switch) HandleMsg(env sim.Envelope) {
 	case KindFwdReply:
 		tok := env.P.U1
 		r := &m.recs[tok]
+		if env.P.Flag != 0 && m.abortedClusters != nil {
+			// The peer's partial is degraded (or a raw read aborted); the
+			// local fold cluster's eventual result must carry the mark.
+			m.abortedClusters[r.key] = struct{}{}
+		}
 		r.remaining--
 		if r.remaining == 0 {
 			key := r.key
@@ -235,7 +290,19 @@ func (s *Switch) HandleMsg(env sim.Envelope) {
 		}
 
 	case cxl.KindDevData:
-		s.msgDevData(env.P.U0)
+		tok := env.P.U0
+		if m.faults != nil {
+			// Fault mode packs (token, generation); a reply that outlived
+			// its read — the record was re-issued or aborted — is stale.
+			gen := uint8(tok)
+			tok >>= 8
+			if m.gens[tok] != gen {
+				s.stats.StaleReplies++
+				return
+			}
+			s.eng.Cancel(m.recs[tok].tmo)
+		}
+		s.msgDevData(tok)
 
 	default:
 		panic(fmt.Sprintf("fabric: switch %d got message kind %#x", s.cfg.ID, env.P.Kind))
@@ -249,11 +316,14 @@ func (s *Switch) msgPIFSFetch(key pifs.ClusterKey, addr uint64) {
 	s.stats.PIFSFetches++
 	tok := m.alloc()
 	m.recs[tok] = xfer{kind: xfFetch, key: key, addr: addr}
-	s.eng.AtCall(s.eng.Now()+s.fetchDelay(), m.fnFetch, tok)
+	s.eng.AtCall(s.stalledNow()+s.fetchDelay(), m.fnFetch, tok)
 }
 
 // msgRoute resolves a decoded read (bypass row or raw forward) to its device
-// and sends the repacked instruction down the DSP.
+// and sends the repacked instruction down the DSP. In fault mode the token
+// is packed with the record's reply generation and a timeout timer is armed;
+// msgRoute doubles as the resend path, so a retry re-enters here after its
+// backoff with the generation already bumped.
 func (s *Switch) msgRoute(tok int32) {
 	m := s.msg
 	r := &m.recs[tok]
@@ -261,8 +331,61 @@ func (s *Switch) msgRoute(tok int32) {
 	if dev < 0 || dev >= len(m.net.DevDown) {
 		panic(fmt.Sprintf("fabric: switch %d has no device %d", s.cfg.ID, dev))
 	}
+	u0 := tok
+	if f := m.faults; f != nil {
+		u0 = tok<<8 | int32(m.gens[tok])
+		r.tmo = s.eng.AtCall(s.eng.Now()+f.TimeoutNS, m.fnTimeout, tok)
+	}
 	m.net.DevDown[dev].SendMsg(isa.SlotBytes,
-		sim.Payload{Kind: cxl.KindDevRead, A: devAddr, U0: tok}, nil)
+		sim.Payload{Kind: cxl.KindDevRead, A: devAddr, U0: u0}, nil)
+}
+
+// msgTimeout fires when a device read's reply timer expires: re-issue with
+// exponential backoff while the retry budget lasts, then abort the read.
+func (s *Switch) msgTimeout(tok int32) {
+	m := s.msg
+	f := m.faults
+	r := &m.recs[tok]
+	s.stats.FaultTimeouts++
+	if r.attempts < f.MaxRetries {
+		r.attempts++
+		m.gens[tok]++ // invalidate the outstanding reply, if it ever comes
+		s.stats.FaultRetries++
+		backoff := f.BackoffNS << uint(r.attempts-1)
+		s.eng.AtCall(s.eng.Now()+backoff, m.fnRoute, tok)
+		return
+	}
+	s.abortRead(tok)
+}
+
+// abortRead gives up on a device read after the retry budget: the waiting
+// party is told instead of left hanging. A host read returns a header-only
+// KindRowData/KindFwdReply with Flag set; a PIFS fetch marks its cluster
+// degraded and feeds the core a synthetic candidate so accumulation
+// completes with what arrived.
+func (s *Switch) abortRead(tok int32) {
+	m := s.msg
+	s.stats.AbortedReads++
+	r := &m.recs[tok]
+	switch r.kind {
+	case xfBypassRow:
+		host, tag := r.host, r.tag
+		m.release(tok)
+		m.net.HostUp[host].SendMsg(isa.SlotBytes,
+			sim.Payload{Kind: KindRowData, Tag: tag, Flag: 1}, nil)
+	case xfFetch:
+		key := r.key
+		m.abortedClusters[key] = struct{}{}
+		m.release(tok)
+		s.Core.Data(key)
+	case xfRawReply:
+		dst, srcTok := r.dstSw, r.srcTok
+		m.release(tok)
+		m.net.PeerRsp[dst].SendMsg(isa.SlotBytes,
+			sim.Payload{Kind: KindFwdReply, U1: srcTok, Flag: 1}, nil)
+	default:
+		panic(fmt.Sprintf("fabric: abort for record kind %d", r.kind))
+	}
 }
 
 // msgConfig programs the cluster after the decode delay.
@@ -326,17 +449,24 @@ func (s *Switch) msgDevData(tok int32) {
 func (s *Switch) msgCoreDone(tok int32, _ sim.Tick) {
 	m := s.msg
 	r := &m.recs[tok]
+	var degraded uint8
+	if m.abortedClusters != nil {
+		if _, ok := m.abortedClusters[r.key]; ok {
+			degraded = 1
+			delete(m.abortedClusters, r.key)
+		}
+	}
 	switch r.kind {
 	case xfResult:
 		host, tag := r.host, r.tag
 		m.release(tok)
 		m.net.HostUp[host].SendMsg(m.net.VecBytes,
-			sim.Payload{Kind: KindPIFSResult, Tag: tag}, nil)
+			sim.Payload{Kind: KindPIFSResult, Tag: tag, Flag: degraded}, nil)
 	case xfPartial:
 		dst, srcTok := r.dstSw, r.srcTok
 		m.release(tok)
 		m.net.PeerRsp[dst].SendMsg(m.net.VecBytes,
-			sim.Payload{Kind: KindFwdReply, U1: srcTok}, nil)
+			sim.Payload{Kind: KindFwdReply, U1: srcTok, Flag: degraded}, nil)
 	default:
 		panic(fmt.Sprintf("fabric: core completion for record kind %d", r.kind))
 	}

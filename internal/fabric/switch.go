@@ -71,6 +71,12 @@ type Stats struct {
 	BufferMisses int64
 	Forwarded    int64 // fetches sent to peer switches
 	Received     int64 // fetches executed on behalf of peers
+
+	// Fault-injection accounting (zero without a fault plan).
+	FaultTimeouts int64 // device reads whose reply timer expired
+	FaultRetries  int64 // timed-out reads re-issued with backoff
+	AbortedReads  int64 // reads abandoned after the retry budget
+	StaleReplies  int64 // late replies dropped by the generation check
 }
 
 // Switch is one fabric switch instance.
@@ -89,6 +95,10 @@ type Switch struct {
 	peers map[*Switch]*cxl.Duplex // this -> peer direction bundles
 
 	xlatFree sim.Tick // translation-unit occupancy (XlatPerFetchNS > 0)
+
+	// stallUntil parks the decode stage during a switch-stall fault window:
+	// arriving work is processed no earlier than the window's close.
+	stallUntil sim.Tick
 
 	// msg is the sharded-fabric message machinery (nil in legacy closure
 	// mode); see messages.go.
@@ -283,6 +293,25 @@ func (s *Switch) PIFSFetch(key pifs.ClusterKey, addr uint64, vecBytes int) {
 			s.Core.Data(key)
 		})
 	})
+}
+
+// FaultStall opens (or extends) a stall window: message-mode work arriving
+// before until is decoded at the window's close instead of on arrival. Call
+// from a calendar event on the switch's group engine.
+func (s *Switch) FaultStall(until sim.Tick) {
+	if until > s.stallUntil {
+		s.stallUntil = until
+	}
+}
+
+// stalledNow returns the earliest time arriving work may start decoding:
+// the engine's now, pushed past any open stall window.
+func (s *Switch) stalledNow() sim.Tick {
+	now := s.eng.Now()
+	if s.stallUntil > now {
+		now = s.stallUntil
+	}
+	return now
 }
 
 // fetchDelay returns a DataFetch's decode latency, serializing through the

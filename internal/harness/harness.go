@@ -776,6 +776,7 @@ func Experiments() map[string]func() *report.Table {
 		"ablation-interleave": AblationInterleave,
 		"ablation-migration":  AblationSwapDepth,
 		"dram-queues":         DRAMQueueDelay,
+		"fault-sweep":         FaultSweep,
 		"numasim-parity":      NumasimParity,
 	}
 }

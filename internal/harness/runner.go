@@ -129,6 +129,34 @@ func (r *Runner) RunConfigs(cfgs []engine.Config) []engine.Result {
 	})
 }
 
+// RunConfigsIsolated is RunConfigs with per-configuration blast-radius
+// containment: a configuration that errors — or panics anywhere inside its
+// simulation — produces an error in its slot instead of killing the whole
+// sweep. Results and errors are parallel to cfgs; exactly one of
+// (results[i] valid, errs[i] != nil) holds per slot.
+func (r *Runner) RunConfigsIsolated(cfgs []engine.Config) ([]engine.Result, []error) {
+	results := make([]engine.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	r.Do(len(cfgs), func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("harness: config %d (%s) panicked: %v", i, cfgs[i].Scheme, p)
+			}
+		}()
+		cfg := cfgs[i]
+		if cfg.Shards == 0 {
+			cfg.Shards = r.ShardsPerConfig(len(cfgs), cfg.ComponentGroups())
+		}
+		res, err := engine.Run(cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = res
+	})
+	return results, errs
+}
+
 // mapIndexed runs fn across the pool and collects results by index.
 func mapIndexed[T any](r *Runner, n int, fn func(int) T) []T {
 	out := make([]T, n)

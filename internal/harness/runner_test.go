@@ -3,6 +3,8 @@ package harness
 import (
 	"bytes"
 	"errors"
+	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -186,5 +188,51 @@ func TestReportTablesShardInvariant(t *testing.T) {
 		if got := render(n); got != base {
 			t.Errorf("table at %d shards differs from the 1-shard engine:\n%s\nvs\n%s", n, got, base)
 		}
+	}
+}
+
+// TestRunConfigsIsolatedContainsPanic submits a sweep with one
+// deliberately-panicking configuration (a trace bag with no indices panics
+// inside bag dispatch) and one erroring configuration (unknown scheme): each
+// must land in its own error slot while every healthy configuration still
+// produces its normal result.
+func TestRunConfigsIsolatedContainsPanic(t *testing.T) {
+	m := scaledRMC4()
+	good := traceFor(trace.MetaLike, m, 1)
+	poison := &trace.Trace{Name: "poison", Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Bags: []trace.Bag{{Table: 0}}} // no indices → runBag panics
+	cfgs := []engine.Config{
+		schemeConfig(engine.PIFSRec, m, good),
+		{Scheme: engine.PIFSRec, Model: m, Trace: poison, Seed: 3},
+		schemeConfig(engine.Pond, m, good),
+		{Scheme: "no-such-scheme", Model: m, Trace: good, Seed: 3},
+	}
+	for _, workers := range []int{1, 4} { // inline serial path and pooled path
+		results, errs := NewRunner(workers).RunConfigsIsolated(cfgs)
+		if len(results) != len(cfgs) || len(errs) != len(cfgs) {
+			t.Fatalf("workers=%d: slots %d/%d, want %d", workers, len(results), len(errs), len(cfgs))
+		}
+		if errs[1] == nil || !strings.Contains(errs[1].Error(), "panicked") ||
+			!strings.Contains(errs[1].Error(), "config 1") {
+			t.Errorf("workers=%d: panicking config error = %v, want a named panic row", workers, errs[1])
+		}
+		if errs[3] == nil || strings.Contains(errs[3].Error(), "panicked") {
+			t.Errorf("workers=%d: erroring config got %v, want a plain config error", workers, errs[3])
+		}
+		for _, i := range []int{0, 2} {
+			if errs[i] != nil {
+				t.Errorf("workers=%d: healthy config %d errored: %v", workers, i, errs[i])
+			}
+			if results[i].Bags == 0 {
+				t.Errorf("workers=%d: healthy config %d produced an empty result", workers, i)
+			}
+		}
+	}
+	// Containment must not perturb the healthy results: the isolated run's
+	// good rows match a plain RunConfigs of the same configurations.
+	plain := NewRunner(1).RunConfigs([]engine.Config{cfgs[0], cfgs[2]})
+	isolated, _ := NewRunner(1).RunConfigsIsolated(cfgs)
+	if !reflect.DeepEqual(plain[0], isolated[0]) || !reflect.DeepEqual(plain[1], isolated[2]) {
+		t.Error("isolated sweep's healthy results differ from RunConfigs")
 	}
 }

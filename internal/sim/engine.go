@@ -364,7 +364,7 @@ func (e *Engine) fire(id int32) {
 	e.now = n.at
 	e.fired++
 	if e.limit != 0 && e.fired > e.limit {
-		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.limit, e.now))
+		panic(&EventLimitError{Limit: e.limit, At: e.now})
 	}
 	fn, fnc, arg := n.fn, n.fnc, n.arg
 	n.fn = nil

@@ -1,0 +1,51 @@
+package sim
+
+import "fmt"
+
+// LookaheadError reports a cross-group message posted for delivery inside
+// the current conservative window — a component wired with a latency below
+// the engine's lookahead, which would make results placement-dependent.
+// Outbox.Post panics with it; ShardedEngine.RunChecked converts the panic
+// into an ordinary error.
+type LookaheadError struct {
+	Port      int32
+	At        Tick
+	WindowEnd Tick
+}
+
+func (e *LookaheadError) Error() string {
+	return fmt.Sprintf("sim: message on port %d delivered at %d inside the current window ending %d — lookahead violated",
+		e.Port, e.At, e.WindowEnd)
+}
+
+// EventLimitError reports a group engine blowing through its configured
+// event budget — the runaway-simulation watchdog. Engine.fire panics with
+// it; ShardedEngine.RunChecked converts the panic into an ordinary error.
+type EventLimitError struct {
+	Limit uint64
+	At    Tick
+}
+
+func (e *EventLimitError) Error() string {
+	return fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.At)
+}
+
+// RunChecked is Run with the engine-level watchdogs converted to errors: a
+// lookahead violation or event-limit blowout on any worker surfaces as a
+// structured error on the caller instead of killing the process. Panics
+// that are not engine contract violations propagate unchanged.
+func (se *ShardedEngine) RunChecked() (end Tick, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch e := p.(type) {
+			case *LookaheadError:
+				err = e
+			case *EventLimitError:
+				err = e
+			default:
+				panic(p)
+			}
+		}
+	}()
+	return se.Run(), nil
+}

@@ -142,7 +142,16 @@ type ShardedEngine struct {
 
 	// persistent window workers (only for >1 worker on >1 core)
 	workCh []chan Tick
-	doneCh chan int
+	doneCh chan workerDone
+}
+
+// workerDone is one worker's window-completion report; pan carries a
+// recovered panic (nil on a clean window) so a shard blowing a watchdog
+// surfaces on the coordinator instead of killing the process from a bare
+// goroutine.
+type workerDone struct {
+	id  int
+	pan any
 }
 
 // NewSharded builds a sharded engine. window must be a positive lower bound
@@ -271,7 +280,7 @@ func (se *ShardedEngine) NewPort() int32 {
 func (ob *Outbox) Post(port int32, dstGroup, dstEndpoint int32, at Tick, p Payload, addrs []uint64) {
 	se := ob.se
 	if at <= se.curEnd {
-		panic(fmt.Sprintf("sim: message on port %d delivered at %d inside the current window ending %d — lookahead violated", port, at, se.curEnd))
+		panic(&LookaheadError{Port: port, At: at, WindowEnd: se.curEnd})
 	}
 	o := &se.groups[ob.group].out
 	off := int32(len(o.arena))
@@ -386,19 +395,28 @@ func (se *ShardedEngine) startWorkers() {
 		return
 	}
 	se.workCh = make([]chan Tick, se.workers)
-	se.doneCh = make(chan int, se.workers)
+	se.doneCh = make(chan workerDone, se.workers)
 	for i := 1; i < se.workers; i++ {
 		ch := make(chan Tick, 1)
 		se.workCh[i] = ch
 		go func(id int) {
 			for deadline := range ch {
-				for _, g := range se.plan[id] {
-					se.groups[g].eng.RunUntil(deadline)
-				}
-				se.doneCh <- id
+				se.doneCh <- workerDone{id: id, pan: se.runSlice(id, deadline)}
 			}
 		}(i)
 	}
+}
+
+// runSlice runs one worker's plan slice for the window, converting a panic
+// into a value the coordinator re-raises after every worker has joined —
+// the join must complete either way or the next window's dispatch would
+// deadlock against a dead worker.
+func (se *ShardedEngine) runSlice(id int, deadline Tick) (pan any) {
+	defer func() { pan = recover() }()
+	for _, g := range se.plan[id] {
+		se.groups[g].eng.RunUntil(deadline)
+	}
+	return nil
 }
 
 func (se *ShardedEngine) stopWorkers() {
@@ -512,11 +530,14 @@ func (se *ShardedEngine) runWindow(deadline Tick, multi bool) {
 			dispatched++
 		}
 	}
-	for _, g := range se.plan[0] {
-		se.groups[g].eng.RunUntil(deadline)
-	}
+	pan := se.runSlice(0, deadline)
 	for ; dispatched > 0; dispatched-- {
-		<-se.doneCh
+		if d := <-se.doneCh; d.pan != nil && pan == nil {
+			pan = d.pan
+		}
+	}
+	if pan != nil {
+		panic(pan)
 	}
 }
 

@@ -123,11 +123,18 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: implausible bag count %d", nbags)
 	}
 
+	// Preallocate from the header's bag count, but cap the hint: a corrupt
+	// header passing the maxBags sanity bound could otherwise reserve
+	// gigabytes before the first bag fails to decode.
+	capHint := nbags
+	if capHint > 4096 {
+		capHint = 4096
+	}
 	t := &Trace{
 		Name:         string(name),
 		Tables:       int(tables),
 		RowsPerTable: int64(rows),
-		Bags:         make([]Bag, 0, nbags),
+		Bags:         make([]Bag, 0, capHint),
 	}
 	for i := uint64(0); i < nbags; i++ {
 		table, err := readU32()

@@ -9,7 +9,7 @@ import (
 
 // encodedFixture returns a serialized trace with both weighted and
 // unweighted bags, plus the decoded original for comparison.
-func encodedFixture(t *testing.T) ([]byte, *Trace) {
+func encodedFixture(t testing.TB) ([]byte, *Trace) {
 	t.Helper()
 	tr := &Trace{
 		Name:         "corruption-fixture",

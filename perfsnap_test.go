@@ -1,6 +1,6 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_5.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_6.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
 // path allocation behavior, sharded-kernel scaling, placement-matrix
 // wall-clocks, figure wall-clocks, vectorized-math kernels, numasim model
@@ -9,7 +9,7 @@ package pifsrec
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_5.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_6.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
@@ -97,11 +97,11 @@ func cpuModel() string {
 
 func TestWriteBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_2.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_6.json")
 	}
 
 	var snap benchSnapshot
-	snap.PR = 5
+	snap.PR = 6
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -140,7 +140,7 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 
 	snap.FigureWallMs = map[string]float64{}
-	for _, id := range []string{"fig12a", "fig12b", "fig13a"} {
+	for _, id := range []string{"fig12a", "fig12b", "fig13a", "fault-sweep"} {
 		id := id
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -234,9 +234,9 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_5.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_6.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_5.json: %.1fM events/sec, request path %d allocs/op\n",
+	fmt.Printf("wrote BENCH_6.json: %.1fM events/sec, request path %d allocs/op\n",
 		snap.EventKernel.EventsPerSec/1e6, snap.RequestPath.AllocsPerOp)
 }

@@ -21,6 +21,7 @@ import (
 
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/engine"
+	"pifsrec/internal/fault"
 	"pifsrec/internal/trace"
 )
 
@@ -84,6 +85,21 @@ type Result = engine.Result
 
 // Simulate runs a trace through a scheme and returns the measurements.
 func Simulate(cfg Config) (Result, error) { return engine.Run(cfg) }
+
+// FaultPlan is a declarative fault-injection schedule (see internal/fault):
+// link flaps, device failure or latency inflation, DRAM channel offlining,
+// and switch stalls, plus the retry policy. Assign one to Config.Faults.
+type FaultPlan = fault.Plan
+
+// LoadFaultPlan reads a JSON fault plan from a file.
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.Load(path) }
+
+// ValidateFaultPlan checks a plan against the topology cfg assembles,
+// returning an actionable error for an unknown link name or out-of-range
+// device, channel, or switch index.
+func ValidateFaultPlan(p *FaultPlan, cfg Config) error {
+	return p.Validate(engine.FaultTopology(cfg))
+}
 
 // TraceFor generates a trace shaped for a model with sane defaults: the
 // given kind, batches x 4 queries, pooling factor 32.
