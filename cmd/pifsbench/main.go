@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"pifsrec/internal/harness"
+	"pifsrec/internal/memo"
 	"pifsrec/internal/numasim"
 )
 
@@ -22,7 +23,20 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	model := flag.String("model", string(numasim.ModelAnalytic),
 		"numasim implementation for fig5/fig6: analytic (closed form) or event (component simulation; see numasim-parity)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (created if missing; warm sweeps re-simulate only configs the cache has never seen)")
 	flag.Parse()
+
+	// The cache directory is probed before any sweep starts: a path that
+	// cannot be created or written is a usage error now, not a degraded
+	// cache discovered an hour into RunAll.
+	if *cacheDir != "" {
+		store, err := memo.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifsbench:", err)
+			os.Exit(2)
+		}
+		harness.SetStore(store)
+	}
 
 	switch numasim.Model(*model) {
 	case numasim.ModelAnalytic, numasim.ModelEvent:
@@ -59,5 +73,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifsbench:", err)
 		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		s := harness.CacheStats()
+		fmt.Fprintf(os.Stderr, "pifsbench: memo hits=%d misses=%d corrupt=%d\n", s.Hits, s.Misses, s.CorruptEntries)
 	}
 }

@@ -1,18 +1,26 @@
 // Command pifssim runs one simulation configuration and prints the
-// measured counters.
+// measured counters — or, with -serve, stays up as a sweep service that
+// answers experiment and raw-config requests through the content-addressed
+// result cache.
 //
 // Usage:
 //
 //	pifssim -scheme PIFS-Rec -model RMC4 -trace Meta -devices 8
 //	pifssim -scheme Pond -model RMC2 -tracefile trace.bin
+//	pifssim -experiment fig13a -cache-dir ~/.cache/pifsrec
+//	pifssim -serve :8080 -cache-dir ~/.cache/pifsrec
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"pifsrec"
+	"pifsrec/internal/harness"
+	"pifsrec/internal/memo"
+	"pifsrec/internal/serve"
 )
 
 func main() {
@@ -28,10 +36,51 @@ func main() {
 	buffer := flag.Int("buffer", 512<<10, "on-switch buffer bytes (PIFS-Rec)")
 	shards := flag.Int("shards", 1, "engine shards (conservative-window intra-sim parallelism; results are identical at any count and placement)")
 	faults := flag.String("faults", "", "fault-injection plan (JSON file; see internal/fault)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (created if missing; sweeps re-simulate only configs the cache has never seen)")
+	experiment := flag.String("experiment", "", "run one named experiment sweep instead of a single config (see pifsbench -list)")
+	serveAddr := flag.String("serve", "", "listen address (e.g. :8080) for the long-lived sweep service")
 	flag.Parse()
 
 	// Flag validation fails fast with actionable messages and exit code 2
-	// (usage error), before any simulation state is assembled.
+	// (usage error), before any simulation state is assembled. The cache
+	// directory is probed here — a path that cannot be created or written is
+	// a usage error now, not a degraded cache discovered mid-sweep.
+	if *cacheDir != "" {
+		store, err := memo.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifssim:", err)
+			os.Exit(2)
+		}
+		harness.SetStore(store)
+	}
+
+	if *serveAddr != "" {
+		if *cacheDir == "" {
+			// A long-lived service should memoize even without persistence:
+			// repeated sweeps hit the in-memory LRU for the process lifetime.
+			harness.SetStore(memo.InMemory())
+		}
+		fmt.Fprintf(os.Stderr, "pifssim: serving on %s (cache: %s)\n", *serveAddr, cacheDesc(*cacheDir))
+		if err := http.ListenAndServe(*serveAddr, serve.NewHandler()); err != nil {
+			fmt.Fprintln(os.Stderr, "pifssim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *experiment != "" {
+		// Unknown experiment ids are a usage error: enumerate the valid set
+		// and exit 2 before any sweep starts.
+		if err := harness.Run(*experiment, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pifssim: unknown -experiment %q (have %v)\n", *experiment, harness.IDs())
+			os.Exit(2)
+		}
+		if *cacheDir != "" {
+			s := harness.CacheStats()
+			fmt.Fprintf(os.Stderr, "pifssim: memo hits=%d misses=%d\n", s.Hits, s.Misses)
+		}
+		return
+	}
 	switch pifsrec.Scheme(*scheme) {
 	case pifsrec.Pond, pifsrec.PondPM, pifsrec.BEACON, pifsrec.RecNMP, pifsrec.PIFSRec:
 	default:
@@ -141,4 +190,11 @@ func main() {
 		fmt.Printf("faults: degraded %.1f%% of the run; goodput %.0f bags/s; link stall %d ns\n",
 			100*res.DegradedFraction, res.GoodputBagsPerSec, res.LinkFaultStallNS)
 	}
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return dir
 }

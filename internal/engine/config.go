@@ -236,14 +236,14 @@ type Result struct {
 	DeviceAccessMean  float64
 
 	// Fault-degradation accounting (all zero without a fault plan).
-	FaultTimeouts     int64 // device reads whose reply timer expired
-	FaultRetries      int64 // timed-out reads re-issued with backoff
-	AbortedRows       int64 // reads abandoned after the retry budget
-	StaleReplies      int64 // late replies dropped by the generation check
-	DeviceDropped     int64 // requests discarded by failed devices
-	ReroutedRows      int64 // rows served from host DRAM while their switch was down
-	LinkFaultStallNS  int64 // transfer time lost to link-flap windows
-	AbortedBags       int   // bags that completed degraded
+	FaultTimeouts     int64   // device reads whose reply timer expired
+	FaultRetries      int64   // timed-out reads re-issued with backoff
+	AbortedRows       int64   // reads abandoned after the retry budget
+	StaleReplies      int64   // late replies dropped by the generation check
+	DeviceDropped     int64   // requests discarded by failed devices
+	ReroutedRows      int64   // rows served from host DRAM while their switch was down
+	LinkFaultStallNS  int64   // transfer time lost to link-flap windows
+	AbortedBags       int     // bags that completed degraded
 	DegradedFraction  float64 // share of the run inside any fault window
 	GoodputBagsPerSec float64 // non-degraded bags per simulated second
 }

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"pifsrec/internal/fault"
+	"pifsrec/internal/sim"
+	"pifsrec/internal/trace"
+)
+
+func encodeConfig(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	b, err := cfg.CanonicalBinary()
+	if err != nil {
+		t.Fatalf("CanonicalBinary: %v", err)
+	}
+	return b
+}
+
+func baseEncodeConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Scheme: PIFSRec,
+		Model:  testModel(),
+		Trace:  testTrace(t, trace.MetaLike, testModel(), 2),
+		Seed:   3,
+	}
+}
+
+// TestCanonicalBinaryGolden pins the canonical encoding's layout with a
+// golden hash. If this test fails, the encoding changed: bump
+// memo.CodeVersion (internal/memo) so every cached result is invalidated,
+// then update the golden value. NEVER update the golden without the salt
+// bump — stale cache entries would alias the new encoding.
+func TestCanonicalBinaryGolden(t *testing.T) {
+	const golden = "f9c574e9265cc3292ff1153c69ba9438cf31bc4c35bbc42d4b961fd243f5d895"
+	b := encodeConfig(t, baseEncodeConfig(t))
+	sum := sha256.Sum256(b)
+	got := hex.EncodeToString(sum[:])
+	if got != golden {
+		t.Fatalf("canonical encoding drifted.\n got %s\nwant %s\nIf this change is intentional, bump memo.CodeVersion AND update this golden.", got, golden)
+	}
+}
+
+// TestCanonicalBinaryNormalizes asserts a zero-valued config and its
+// explicit defaults encode identically — the property that lets a CLI run
+// with default flags hit cache entries written by a fully-specified sweep.
+func TestCanonicalBinaryNormalizes(t *testing.T) {
+	implicit := baseEncodeConfig(t)
+	explicit := implicit
+	explicit.Devices = 4
+	explicit.Switches = 1
+	explicit.Hosts = 1
+	explicit.LocalFraction = 0.125
+	explicit.HostParallelism = 48
+	explicit.EpochBags = 64
+	if !bytes.Equal(encodeConfig(t, implicit), encodeConfig(t, explicit)) {
+		t.Error("zero-valued config and explicit defaults encode differently")
+	}
+}
+
+// TestCanonicalBinaryExcludesScheduling asserts Shards and Placement do not
+// change the identity: results are byte-identical at every shard count and
+// placement (the determinism gates), so they are scheduling, not input.
+func TestCanonicalBinaryExcludesScheduling(t *testing.T) {
+	base := baseEncodeConfig(t)
+	want := encodeConfig(t, base)
+
+	sharded := base
+	sharded.Shards = 3
+	if !bytes.Equal(want, encodeConfig(t, sharded)) {
+		t.Error("Shards changed the canonical encoding; it must stay a scheduling decision")
+	}
+	placed := base
+	placed.Placement = sim.RoundRobinPlacement
+	if !bytes.Equal(want, encodeConfig(t, placed)) {
+		t.Error("Placement changed the canonical encoding; it must stay a scheduling decision")
+	}
+}
+
+// TestCanonicalBinarySensitivity asserts every semantic input changes the
+// encoding — the fields a stale-result bug would hide behind.
+func TestCanonicalBinarySensitivity(t *testing.T) {
+	base := baseEncodeConfig(t)
+	want := encodeConfig(t, base)
+
+	mutations := map[string]func(*Config){
+		"Scheme":             func(c *Config) { c.Scheme = Pond },
+		"Model name":         func(c *Config) { c.Model.Name = "other" },
+		"Model MLP":          func(c *Config) { c.Model.BottomMLP = []int{13, 64, 16} },
+		"Devices":            func(c *Config) { c.Devices = 8 },
+		"Switches":           func(c *Config) { c.Switches = 2 },
+		"Hosts":              func(c *Config) { c.Hosts = 2 },
+		"LocalFraction":      func(c *Config) { c.LocalFraction = 0.5 },
+		"BufferBytes":        func(c *Config) { c.BufferBytes = 64 << 10 },
+		"BufferPolicy":       func(c *Config) { c.BufferPolicy = "LRU" },
+		"ColdAgeThreshold":   func(c *Config) { c.ColdAgeThreshold = 0.5 },
+		"MigrateThreshold":   func(c *Config) { c.MigrateThreshold = 0.5 },
+		"PageBlockMigration": func(c *Config) { c.PageBlockMigration = true },
+		"HostParallelism":    func(c *Config) { c.HostParallelism = 4 },
+		"EpochBags":          func(c *Config) { c.EpochBags = 16 },
+		"DisableOoO":         func(c *Config) { c.DisableOoO = true },
+		"DisablePM":          func(c *Config) { c.DisablePM = true },
+		"DisableOSB":         func(c *Config) { c.DisableOSB = true },
+		"TPPPolicy":          func(c *Config) { c.TPPPolicy = true },
+		"Seed":               func(c *Config) { c.Seed = 4 },
+		"Faults": func(c *Config) {
+			c.Faults = &fault.Plan{Events: []fault.Event{{
+				Kind: fault.DeviceSlow, Device: 0, AtNS: 10, DurationNS: 1000, ExtraNS: 50,
+			}}}
+		},
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if bytes.Equal(want, encodeConfig(t, cfg)) {
+			t.Errorf("mutating %s did not change the canonical encoding", name)
+		}
+	}
+
+	other := base
+	other.Trace = testTrace(t, trace.Zipfian, testModel(), 2)
+	if bytes.Equal(want, encodeConfig(t, other)) {
+		t.Error("different trace did not change the canonical encoding")
+	}
+
+	bigger := base
+	bigger.Model = testModel()
+	bigger.Model.EmbRows *= 2
+	bigger.Trace = testTrace(t, trace.MetaLike, bigger.Model, 2)
+	if bytes.Equal(want, encodeConfig(t, bigger)) {
+		t.Error("different model shape (with matching trace) did not change the canonical encoding")
+	}
+}
+
+// TestCanonicalBinaryInvalidConfig asserts invalid configs error instead of
+// producing a bogus cache key.
+func TestCanonicalBinaryInvalidConfig(t *testing.T) {
+	bad := baseEncodeConfig(t)
+	bad.Scheme = "no-such-scheme"
+	if _, err := bad.CanonicalBinary(); err == nil {
+		t.Error("invalid scheme produced a canonical encoding instead of an error")
+	}
+	var noTrace Config
+	noTrace.Scheme = PIFSRec
+	noTrace.Model = testModel()
+	if _, err := noTrace.CanonicalBinary(); err == nil {
+		t.Error("config without a trace produced a canonical encoding instead of an error")
+	}
+}

@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"pifsrec/internal/engine"
+	"pifsrec/internal/memo"
+	"pifsrec/internal/numasim"
+	"pifsrec/internal/report"
+)
+
+// Job is one memoizable unit of simulation work: exactly one engine
+// configuration or one numasim evaluation, producing one JobResult. Every
+// experiment decomposes into a declarative job list (see Jobs) plus a pure
+// assembly function over the results, which is what lets the result cache
+// skip any job whose content identity it has seen before.
+type Job struct {
+	// Engine runs one engine.Config; exactly one of Engine/Numa is set.
+	Engine *engine.Config
+	// Numa evaluates one numasim (model, platform, workload, placement).
+	Numa *NumaJob
+}
+
+// NumaJob identifies one numasim evaluation.
+type NumaJob struct {
+	Model     numasim.Model
+	Platform  numasim.Platform
+	Workload  numasim.Workload
+	Placement numasim.Placement
+}
+
+// JobResult is the result of one Job; the field matching the job's kind is
+// populated, the other stays zero.
+type JobResult struct {
+	Engine engine.Result  `json:"engine"`
+	Numa   numasim.Result `json:"numa"`
+}
+
+// resultSchema is a fingerprint of the JobResult type tree (field names,
+// order, and kinds, recursively). It is folded into every job hash, so
+// adding, removing, renaming, or retyping ANY result field automatically
+// invalidates every cache entry — a stale entry can never decode into a
+// differently-shaped result with silently zeroed fields.
+var resultSchema = schemaOf(reflect.TypeOf(JobResult{}))
+
+func schemaOf(t reflect.Type) string {
+	var b strings.Builder
+	describeType(&b, t, 0)
+	return b.String()
+}
+
+func describeType(b *strings.Builder, t reflect.Type, depth int) {
+	if depth > 8 {
+		// Result types are shallow value trees; anything deeper is a bug in
+		// the schema walk, not a legitimate result shape.
+		panic("harness: result schema too deep")
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		fmt.Fprintf(b, "struct %s{", t.Name())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fmt.Fprintf(b, "%s ", f.Name)
+			describeType(b, f.Type, depth+1)
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+	case reflect.Slice, reflect.Array, reflect.Pointer:
+		fmt.Fprintf(b, "%s of ", t.Kind())
+		describeType(b, t.Elem(), depth+1)
+	default:
+		b.WriteString(t.Kind().String())
+	}
+}
+
+// codeSalt is the code-version salt folded into every job hash. It tracks
+// memo.CodeVersion; tests override it to prove a salt bump invalidates
+// every entry.
+var codeSalt = memo.CodeVersion
+
+// Hash returns the job's content identity under the current code-version
+// salt: H(salt, result schema, canonical input encoding). Two jobs hash
+// equal exactly when the determinism gates guarantee they produce identical
+// results on this code version.
+func (j Job) Hash() (memo.Hash, error) {
+	return j.hashSalted(codeSalt)
+}
+
+func (j Job) hashSalted(salt string) (memo.Hash, error) {
+	h := memo.New(salt)
+	h.Str(resultSchema)
+	switch {
+	case j.Engine != nil && j.Numa == nil:
+		h.Str("engine")
+		b, err := j.Engine.CanonicalBinary()
+		if err != nil {
+			return memo.Hash{}, err
+		}
+		h.Bytes(b)
+	case j.Numa != nil && j.Engine == nil:
+		n := j.Numa
+		model := n.Model
+		if model == "" {
+			model = numasim.ModelAnalytic // RunModel's own defaulting
+		}
+		h.Str("numa")
+		h.Str(string(model))
+		p := n.Platform
+		h.F64(p.LocalGBs)
+		h.F64(p.RemoteGBs)
+		h.F64(p.InterconnectGBs)
+		h.F64(p.CXLGBs)
+		h.F64(p.LocalLatNS)
+		h.F64(p.RemoteLatNS)
+		h.F64(p.CXLLatNS)
+		w := n.Workload
+		h.I64(int64(w.Threads))
+		h.I64(int64(w.EmbDim))
+		h.I64(w.TableSize)
+		h.I64(int64(w.Tables))
+		h.I64(int64(w.BatchSize))
+		h.Str(string(w.Threading))
+		h.F64(w.RemoteShare)
+		h.Str(string(n.Placement))
+	default:
+		return memo.Hash{}, fmt.Errorf("harness: job must set exactly one of Engine/Numa")
+	}
+	return h.Sum(), nil
+}
+
+// encodeJobResult serializes a result for the cache. The payload format is
+// JSON — corruption safety comes from the store's framing and checksum, and
+// schema safety from the result-schema fingerprint in the key, so the
+// payload encoding only has to round-trip exactly. encoding/json emits the
+// shortest float representation that parses back to the identical bits,
+// which is what keeps warm tables byte-identical to cold ones.
+func encodeJobResult(r JobResult) ([]byte, error) { return json.Marshal(r) }
+
+func decodeJobResult(payload []byte) (JobResult, error) {
+	var r JobResult
+	err := json.Unmarshal(payload, &r)
+	return r, err
+}
+
+// memoStore is the cache behind every sweep; nil disables memoization.
+var memoStore *memo.Store
+
+// SetStore installs the result cache used by all sweeps (nil disables
+// memoization) and returns the previous store. CLI front-ends call it once
+// at startup with a store opened from -cache-dir.
+func SetStore(s *memo.Store) *memo.Store {
+	prev := memoStore
+	memoStore = s
+	return prev
+}
+
+// CacheStats returns the installed store's counters (zero Stats without a
+// store).
+func CacheStats() memo.Stats {
+	if memoStore == nil {
+		return memo.Stats{}
+	}
+	return memoStore.Stats()
+}
+
+// execJob runs one job for real. sweep is the sweep's total job count, used
+// for the runner's core split between sweep fan-out and intra-sim shards —
+// pure scheduling, never part of the job's identity.
+func execJob(r *Runner, sweep int, j Job) JobResult {
+	switch {
+	case j.Engine != nil:
+		cfg := *j.Engine
+		if cfg.Shards == 0 {
+			cfg.Shards = r.ShardsPerConfig(sweep, cfg.ComponentGroups())
+		}
+		return JobResult{Engine: run(cfg)}
+	case j.Numa != nil:
+		res, err := numasim.RunModel(j.Numa.Model, j.Numa.Platform, j.Numa.Workload, j.Numa.Placement)
+		if err != nil {
+			panic(err)
+		}
+		return JobResult{Numa: res}
+	}
+	panic("harness: empty job")
+}
+
+// RunJobs executes a job list and returns results in submission order.
+// With a store installed (SetStore) it simulates only the cache misses —
+// in parallel across the pool — and backfills the cache; without one it
+// degenerates to the plain parallel sweep. Either way the result slice is
+// identical: memoization is invisible except in wall-clock and counters.
+func (r *Runner) RunJobs(jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	st := memoStore
+	if st == nil {
+		r.Do(len(jobs), func(i int) { out[i] = execJob(r, len(jobs), jobs[i]) })
+		return out
+	}
+	hashes := make([]memo.Hash, len(jobs))
+	miss := make([]int, 0, len(jobs))
+	for i := range jobs {
+		h, err := jobs[i].Hash()
+		if err != nil {
+			panic(err) // harness configs are code, not user input
+		}
+		hashes[i] = h
+		if payload, ok := st.Get(h); ok {
+			if res, derr := decodeJobResult(payload); derr == nil {
+				out[i] = res
+				continue
+			}
+			// A framed, checksummed entry that fails to decode should be
+			// impossible; treat it as a miss all the same.
+		}
+		miss = append(miss, i)
+	}
+	r.Do(len(miss), func(k int) { out[miss[k]] = execJob(r, len(jobs), jobs[miss[k]]) })
+	for _, i := range miss {
+		if payload, err := encodeJobResult(out[i]); err == nil {
+			// Put failures (read-only dir, full disk) are counted by the
+			// store and degrade the cache to cost, never correctness.
+			_ = st.Put(hashes[i], payload)
+		}
+	}
+	return out
+}
+
+// spec is one experiment in job/assemble form: an ordered list of phases —
+// each producing a job list, later phases seeing all earlier results — and
+// a pure assembly function mapping the concatenated results to the printed
+// table. Single-phase specs cover every experiment except the fault sweep
+// (whose chaos plans are scaled by the clean phase's runtimes); zero-phase
+// specs are analytic tables (TCO, power) with no simulation behind them.
+type spec struct {
+	phases   []phaseFn
+	assemble func(results []JobResult) *report.Table
+}
+
+type phaseFn func(prior []JobResult) []Job
+
+// staticPhases wraps a result-independent job list as a single phase.
+func staticPhases(jobs func() []Job) []phaseFn {
+	return []phaseFn{func([]JobResult) []Job { return jobs() }}
+}
+
+// runSpec executes every phase through the (possibly memoized) runner and
+// assembles the table.
+func (r *Runner) runSpec(sp spec) *report.Table {
+	var results []JobResult
+	for _, ph := range sp.phases {
+		results = append(results, r.RunJobs(ph(results))...)
+	}
+	return sp.assemble(results)
+}
+
+// Jobs returns an experiment's declarative job list — the first phase's
+// jobs, which for every experiment but the fault sweep is the complete
+// list (the fault sweep's second phase derives fault plans from the first
+// phase's results). Unknown ids and purely analytic experiments return nil.
+func Jobs(id string) []Job {
+	sp, ok := specs()[id]
+	if !ok || len(sp.phases) == 0 {
+		return nil
+	}
+	return sp.phases[0](nil)
+}

@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pifsrec/internal/engine"
+	"pifsrec/internal/memo"
+	"pifsrec/internal/trace"
+)
+
+// withStore installs a store for the test's duration and restores the
+// previous one (normally nil) afterwards.
+func withStore(t *testing.T, s *memo.Store) {
+	t.Helper()
+	prev := SetStore(s)
+	t.Cleanup(func() { SetStore(prev) })
+}
+
+// renderAll prints every experiment (the pifsbench RunAll bytes) per id.
+func renderAll(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(IDs()))
+	for _, id := range IDs() {
+		var buf bytes.Buffer
+		if err := Run(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out[id] = buf.String()
+	}
+	return out
+}
+
+func diffTables(t *testing.T, want, got map[string]string, phase string) {
+	t.Helper()
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("%s: experiment %s produced different bytes than the uncached run", phase, id)
+		}
+	}
+}
+
+// TestMemoizedTablesByteIdentical is the memoization correctness property
+// over the full experiment set: tables are byte-identical with no cache,
+// with a cold cache, with a warm cache, and after an unrelated config has
+// been cached in between — memoization is visible only in wall clock and
+// counters. Every simulated job in the warm pass must hit.
+func TestMemoizedTablesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep (x3) in -short mode")
+	}
+	baseline := renderAll(t)
+
+	store, err := memo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStore(t, store)
+
+	cold := renderAll(t)
+	diffTables(t, baseline, cold, "cold cache")
+	afterCold := store.Stats()
+	if afterCold.Misses == 0 {
+		t.Fatal("cold pass recorded no misses")
+	}
+
+	warm := renderAll(t)
+	diffTables(t, baseline, warm, "warm cache")
+	afterWarm := store.Stats()
+	if extra := afterWarm.Misses - afterCold.Misses; extra != 0 {
+		t.Errorf("warm pass missed %d times; every job must hit", extra)
+	}
+	if afterWarm.Hits <= afterCold.Hits {
+		t.Error("warm pass recorded no hits")
+	}
+
+	// An unrelated config entering the cache must not perturb any table.
+	m := scaledRMC4()
+	tr := traceFor(trace.Uniform, m, 1)
+	unrelated := schemeConfig(engine.PIFSRec, m, tr)
+	unrelated.Devices = 16
+	unrelated.Seed = 99
+	pool.RunConfigs([]engine.Config{unrelated})
+
+	again := renderAll(t)
+	diffTables(t, baseline, again, "warm cache after unrelated insert")
+}
+
+// TestOneConfigEditExactlyOneMiss is the incremental re-simulation
+// property: editing one config in a sweep re-simulates exactly that config.
+func TestOneConfigEditExactlyOneMiss(t *testing.T) {
+	store, err := memo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStore(t, store)
+
+	jobs := Jobs("fig13a")
+	if len(jobs) == 0 {
+		t.Fatal("fig13a has no jobs")
+	}
+	pool.RunJobs(jobs)
+	cold := store.Stats()
+	if cold.Misses != int64(len(jobs)) {
+		t.Fatalf("cold run: %d misses for %d jobs", cold.Misses, len(jobs))
+	}
+
+	edited := Jobs("fig13a")
+	cfg := *edited[3].Engine // one config edited, the rest untouched
+	cfg.MigrateThreshold = 0.42
+	edited[3].Engine = &cfg
+	pool.RunJobs(edited)
+	after := store.Stats()
+	if miss := after.Misses - cold.Misses; miss != 1 {
+		t.Errorf("edited sweep missed %d times, want exactly 1", miss)
+	}
+	if hits := after.Hits - cold.Hits; hits != int64(len(jobs)-1) {
+		t.Errorf("edited sweep hit %d times, want %d", hits, len(jobs)-1)
+	}
+}
+
+// TestSaltBumpInvalidatesEverything asserts bumping the code-version salt
+// turns every cached entry into a miss — the mechanism that makes stale
+// results unreachable after a simulator change.
+func TestSaltBumpInvalidatesEverything(t *testing.T) {
+	store, err := memo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStore(t, store)
+
+	jobs := Jobs("ablation-interleave")
+	pool.RunJobs(jobs)
+	pool.RunJobs(jobs)
+	warm := store.Stats()
+	if warm.Misses != int64(len(jobs)) {
+		t.Fatalf("warm run still missing: %d misses for %d jobs", warm.Misses, len(jobs))
+	}
+
+	prevSalt := codeSalt
+	codeSalt = prevSalt + "-bumped"
+	defer func() { codeSalt = prevSalt }()
+
+	pool.RunJobs(jobs)
+	bumped := store.Stats()
+	if miss := bumped.Misses - warm.Misses; miss != int64(len(jobs)) {
+		t.Errorf("after salt bump: %d misses, want %d (every entry invalidated)", miss, len(jobs))
+	}
+}
+
+// TestCorruptCacheCannotChangeResults corrupts every on-disk entry and
+// asserts the sweep still produces byte-identical tables — corruption can
+// only cost re-simulation, never correctness.
+func TestCorruptCacheCannotChangeResults(t *testing.T) {
+	var baseline bytes.Buffer
+	if err := Run("ablation-migration", &baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := memo.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStore(t, store)
+	var cold bytes.Buffer
+	if err := Run("ablation-migration", &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != baseline.String() {
+		t.Fatal("cold cached table differs from uncached table")
+	}
+
+	// Flip a payload bit in every entry file.
+	entries := 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil || d.IsDir() || !strings.HasSuffix(path, ".m1") {
+			return werr
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		raw[len(raw)/2] ^= 0x01
+		entries++
+		return os.WriteFile(path, raw, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries == 0 {
+		t.Fatal("no cache entries written")
+	}
+
+	// A fresh store over the damaged directory (cold LRU, like a new
+	// process) must re-simulate and reproduce the exact bytes.
+	fresh, err := memo.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(fresh)
+	var damaged bytes.Buffer
+	if err := Run("ablation-migration", &damaged); err != nil {
+		t.Fatal(err)
+	}
+	if damaged.String() != baseline.String() {
+		t.Error("corrupt cache changed the table bytes")
+	}
+	st := fresh.Stats()
+	if st.CorruptEntries != int64(entries) {
+		t.Errorf("%d corrupt entries detected, want %d", st.CorruptEntries, entries)
+	}
+}
+
+// TestJobsAPI pins the Jobs contract: known sweeps return their job lists,
+// analytic tables and unknown ids return nil.
+func TestJobsAPI(t *testing.T) {
+	if n := len(Jobs("fig13a")); n != 18 {
+		t.Errorf("fig13a has %d jobs, want 18 (9 thresholds x 2 mechanisms)", n)
+	}
+	if n := len(Jobs("fig12a")); n != 20 {
+		t.Errorf("fig12a has %d jobs, want 20 (4 models x 5 schemes)", n)
+	}
+	if Jobs("fig16") != nil {
+		t.Error("analytic fig16 returned jobs")
+	}
+	if Jobs("no-such-id") != nil {
+		t.Error("unknown id returned jobs")
+	}
+	for _, j := range Jobs("fig5") {
+		if j.Engine != nil || j.Numa == nil {
+			t.Fatal("fig5 job is not a numasim job")
+		}
+	}
+	if _, err := (Job{}).Hash(); err == nil {
+		t.Error("empty job hashed without error")
+	}
+}

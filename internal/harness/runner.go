@@ -120,13 +120,16 @@ func (r *Runner) ShardsPerConfig(n, groups int) int {
 // by their own component-group count; an explicit Shards value is honored
 // as-is (the engine documents its clamp).
 func (r *Runner) RunConfigs(cfgs []engine.Config) []engine.Result {
-	return mapIndexed(r, len(cfgs), func(i int) engine.Result {
-		cfg := cfgs[i]
-		if cfg.Shards == 0 {
-			cfg.Shards = r.ShardsPerConfig(len(cfgs), cfg.ComponentGroups())
-		}
-		return run(cfg)
-	})
+	jobs := make([]Job, len(cfgs))
+	for i := range cfgs {
+		jobs[i] = engineJob(cfgs[i])
+	}
+	results := r.RunJobs(jobs)
+	out := make([]engine.Result, len(results))
+	for i := range results {
+		out[i] = results[i].Engine
+	}
+	return out
 }
 
 // RunConfigsIsolated is RunConfigs with per-configuration blast-radius
@@ -164,9 +167,14 @@ func mapIndexed[T any](r *Runner, n int, fn func(int) T) []T {
 	return out
 }
 
-// pool is the package's default runner, used by every FigNN sweep.
+// pool is the package's default runner, used by every experiment sweep.
 // SetParallelism replaces it; the default is one worker per CPU.
 var pool = NewRunner(0)
+
+// DefaultRunner returns the package's current default pool (the one behind
+// Experiments/Run/RunAll). The serve mode uses it to answer raw config
+// sweeps through the same memoized path as the named experiments.
+func DefaultRunner() *Runner { return pool }
 
 // SetParallelism resizes the default pool used by the figure sweeps;
 // n <= 0 restores the GOMAXPROCS default. It returns the previous width.

@@ -1,0 +1,211 @@
+package memo
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// entryFile locates the single entry file under the store's directory.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".m1" {
+			if found != "" {
+				t.Fatalf("multiple entry files: %s and %s", found, path)
+			}
+			found = path
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == "" {
+		t.Fatal("no entry file written")
+	}
+	return found
+}
+
+// freshEntry writes one entry to a fresh store and returns (dir, key, file,
+// raw bytes). The store is discarded so re-opened readers have a cold LRU.
+func freshEntry(t *testing.T, payload []byte) (string, Hash, string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := New("corruption-victim").Sum()
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := entryFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, key, path, raw
+}
+
+func expectMiss(t *testing.T, dir string, key Hash, what string) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload, ok := s.Get(key); ok {
+		t.Fatalf("%s: corrupt entry returned a hit (%d payload bytes); corruption must read as a miss", what, len(payload))
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("%s: %d misses, want 1", what, st.Misses)
+	}
+	if st.CorruptEntries != 1 {
+		t.Errorf("%s: %d corrupt entries counted, want 1", what, st.CorruptEntries)
+	}
+}
+
+// TestCorruptTruncatedAtEveryOffset truncates the entry file at every length
+// and asserts every prefix reads as a miss — the same exhaustive style the
+// trace reader's file_test uses.
+func TestCorruptTruncatedAtEveryOffset(t *testing.T) {
+	payload := []byte(`{"engine":{"TotalNS":12345},"numa":{}}`)
+	_, key, _, raw := freshEntry(t, payload)
+	for n := 0; n < len(raw); n++ {
+		dir, _, path, _ := freshEntry(t, payload)
+		if err := os.WriteFile(path, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectMiss(t, dir, key, fmt.Sprintf("truncated to %d/%d bytes", n, len(raw)))
+	}
+}
+
+// TestCorruptBitFlipAtEveryByte flips one bit in every byte of the entry in
+// turn; each damaged entry must read as a miss (magic, version, key, length,
+// payload, and checksum corruption all land here).
+func TestCorruptBitFlipAtEveryByte(t *testing.T) {
+	payload := []byte(`{"engine":{"TotalNS":99},"numa":{}}`)
+	_, key, _, raw := freshEntry(t, payload)
+	for i := range raw {
+		dir, _, path, _ := freshEntry(t, payload)
+		mut := bytes.Clone(raw)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectMiss(t, dir, key, fmt.Sprintf("bit flip at byte %d/%d", i, len(raw)))
+	}
+}
+
+// TestCorruptTrailingGarbage appends bytes after a valid entry; the exact-
+// length check must reject it.
+func TestCorruptTrailingGarbage(t *testing.T) {
+	payload := []byte("payload")
+	dir, key, path, raw := freshEntry(t, payload)
+	if err := os.WriteFile(path, append(bytes.Clone(raw), 0xAA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectMiss(t, dir, key, "one trailing garbage byte")
+}
+
+// TestCorruptEmptyAndShortHeader covers the degenerate files a crashed or
+// interrupted writer could conceivably leave despite atomic renames.
+func TestCorruptEmptyAndShortHeader(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, entryOverhead - 1} {
+		payload := []byte("payload")
+		dir, key, path, _ := freshEntry(t, payload)
+		if err := os.WriteFile(path, bytes.Repeat([]byte{'P'}, n), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectMiss(t, dir, key, fmt.Sprintf("%d-byte file", n))
+	}
+}
+
+// TestCorruptWrongKeyFile stores a valid entry under another key's file
+// name (a misfiled object); the key-vs-filename check must reject it.
+func TestCorruptWrongKeyFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyA := New("a").Sum()
+	if err := s.Put(keyA, []byte("a-payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(entryFile(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB := New("b").Sum()
+	misfiled := filepath.Join(dir, keyB.Hex()[:2], keyB.Hex()+".m1")
+	if err := os.MkdirAll(filepath.Dir(misfiled), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(misfiled, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectMiss(t, dir, keyB, "entry misfiled under another key")
+}
+
+// TestCorruptVersionAndMagic rewrites the framing fields with plausible
+// wrong values (not just bit flips): future version, zero version, shifted
+// magic.
+func TestCorruptVersionAndMagic(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"future version", func(b []byte) { b[8] = entryVersion + 1 }},
+		{"zero version", func(b []byte) { b[8], b[9] = 0, 0 }},
+		{"wrong magic", func(b []byte) { copy(b, "PIFSTRC1") }}, // the trace format's magic
+	}
+	for _, tc := range cases {
+		payload := []byte("payload")
+		dir, key, path, raw := freshEntry(t, payload)
+		mut := bytes.Clone(raw)
+		tc.mutate(mut)
+		// Recompute nothing: framing fields are inside the checksummed
+		// region, so even a "self-consistent" rewrite fails one gate or the
+		// other; decodeEntry checks fields before the checksum.
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectMiss(t, dir, key, tc.name)
+	}
+}
+
+// TestCorruptEntryIsRecoverable asserts a corrupt entry degrades to a miss
+// that a subsequent Put repairs in place.
+func TestCorruptEntryIsRecoverable(t *testing.T) {
+	payload := []byte("good")
+	dir, key, path, _ := freshEntry(t, payload)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("garbage hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("repaired entry reads (%q, %v)", got, ok)
+	}
+}

@@ -1,0 +1,65 @@
+package report
+
+import "testing"
+
+// TestFprintGolden pins the renderer's exact output bytes. Memoized warm
+// sweeps promise byte-identical tables, which makes the rendering itself
+// part of the cache contract: a formatting change here invalidates every
+// recorded table (EXPERIMENTS.md, CI smoke comparisons), so it must be
+// deliberate — update the golden, regenerate EXPERIMENTS.md.
+func TestFprintGolden(t *testing.T) {
+	tb := &Table{
+		Title:  "golden",
+		Header: []string{"name", "ratio", "count"},
+	}
+	tb.AddRow("alpha", 1.0, 3)
+	tb.AddRow("a-longer-name", 0.123456, 42)
+	tb.AddRow("b", 2.5, int64(7))
+	tb.AddNote("first note %.2fx", 1.234)
+	tb.AddNote("second note")
+
+	const want = "== golden ==\n" +
+		"  name           ratio  count\n" +
+		"  -------------  -----  -----\n" +
+		"  alpha          1.000  3\n" +
+		"  a-longer-name  0.123  42\n" +
+		"  b              2.500  7\n" +
+		"  note: first note 1.23x\n" +
+		"  note: second note\n" +
+		"\n"
+	if got := tb.String(); got != want {
+		t.Errorf("rendered bytes drifted.\n got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestAddNoteOrdering asserts notes print in insertion order — experiment
+// assemblies interleave AddNote with row construction and rely on it.
+func TestAddNoteOrdering(t *testing.T) {
+	tb := &Table{Title: "n", Header: []string{"c"}}
+	tb.AddNote("one")
+	tb.AddRow("x")
+	tb.AddNote("two %d", 2)
+	tb.AddNote("three")
+	if len(tb.Notes) != 3 {
+		t.Fatalf("%d notes, want 3", len(tb.Notes))
+	}
+	for i, want := range []string{"one", "two 2", "three"} {
+		if tb.Notes[i] != want {
+			t.Errorf("note %d = %q, want %q", i, tb.Notes[i], want)
+		}
+	}
+}
+
+// TestAddRowMixedTypes pins the per-type cell formatting: float64 renders
+// to three places, everything else through %v.
+func TestAddRowMixedTypes(t *testing.T) {
+	tb := &Table{Title: "m", Header: []string{"a", "b", "c", "d", "e", "f"}}
+	tb.AddRow("s", 3.14159, 7, int64(-2), true, float32(1.5))
+	got := tb.Rows[0]
+	want := []string{"s", "3.142", "7", "-2", "true", "1.5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package serve is the HTTP face of the long-lived sweep service behind
+// pifssim -serve: a stateless handler that answers experiment and raw-config
+// sweep requests through the harness's memoized runner. Because every job is
+// content-addressed, a warm server answers repeated sweeps from the result
+// cache and re-simulates only configs it has never seen — the interactive
+// "edit one config, re-run the sweep" loop costs one simulation, not a full
+// re-run.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /v1/experiments        experiment ids with per-sweep job counts
+//	GET  /v1/run?id=fig13a      one experiment's table (text/plain; the exact
+//	                            bytes pifsbench prints)
+//	POST /v1/simulate           raw config sweep: {"configs": [...]} in,
+//	                            results (engine counters) out, input order
+//	GET  /v1/stats              cumulative result-cache counters
+//
+// Run responses carry X-Memo-Hits / X-Memo-Misses headers: the cache's hit
+// and miss deltas while the request ran (approximate under concurrent
+// requests — the counters are global).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pifsrec/internal/dlrm"
+	"pifsrec/internal/engine"
+	"pifsrec/internal/harness"
+	"pifsrec/internal/trace"
+)
+
+// ConfigSpec is the wire form of one raw simulation config: the same knobs
+// the pifssim CLI exposes, JSON-encoded. Zero values take the CLI's
+// defaults (RMC4 at scale 64, Meta trace, 2 batches, seed 1; device/switch/
+// host counts fall to the engine's own defaults).
+type ConfigSpec struct {
+	Scheme        string  `json:"scheme"`
+	Model         string  `json:"model"`
+	Scale         int64   `json:"scale"`
+	Trace         string  `json:"trace"`
+	Batches       int     `json:"batches"`
+	Devices       int     `json:"devices"`
+	Switches      int     `json:"switches"`
+	Hosts         int     `json:"hosts"`
+	BufferBytes   int     `json:"buffer_bytes"`
+	LocalFraction float64 `json:"local_fraction"`
+	Seed          uint64  `json:"seed"`
+}
+
+// config materializes the engine configuration a spec describes. Traces are
+// regenerated per call; their content hash — not their allocation — is the
+// cache identity, so a regenerated trace still hits.
+func (cs ConfigSpec) config() (engine.Config, error) {
+	scheme := engine.Scheme(cs.Scheme)
+	switch scheme {
+	case engine.Pond, engine.PondPM, engine.BEACON, engine.RecNMP, engine.PIFSRec:
+	case "":
+		scheme = engine.PIFSRec
+	default:
+		return engine.Config{}, fmt.Errorf("unknown scheme %q (have %v)", cs.Scheme, engine.Schemes())
+	}
+
+	name := cs.Model
+	if name == "" {
+		name = "RMC4"
+	}
+	scale := cs.Scale
+	if scale == 0 {
+		scale = 64
+	}
+	if scale < 1 {
+		return engine.Config{}, fmt.Errorf("scale %d must be at least 1", scale)
+	}
+	var m dlrm.ModelConfig
+	found := false
+	for _, cand := range dlrm.Models() {
+		if cand.Name == name {
+			m = cand.Scaled(scale)
+			found = true
+		}
+	}
+	if !found {
+		names := make([]string, 0, 4)
+		for _, cand := range dlrm.Models() {
+			names = append(names, cand.Name)
+		}
+		return engine.Config{}, fmt.Errorf("unknown model %q (have %v)", name, names)
+	}
+
+	kind := trace.Kind(cs.Trace)
+	if kind == "" {
+		kind = trace.MetaLike
+	}
+	batches := cs.Batches
+	if batches == 0 {
+		batches = 2
+	}
+	if batches < 1 {
+		return engine.Config{}, fmt.Errorf("batches %d must be at least 1", batches)
+	}
+	tr, err := trace.Generate(trace.Spec{
+		Kind:         kind,
+		Tables:       m.Tables,
+		RowsPerTable: m.EmbRows,
+		Batches:      batches,
+		BatchSize:    4,
+		BagSize:      32,
+		Seed:         7,
+	})
+	if err != nil {
+		return engine.Config{}, err
+	}
+
+	seed := cs.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return engine.Config{
+		Scheme:        scheme,
+		Model:         m,
+		Trace:         tr,
+		Devices:       cs.Devices,
+		Switches:      cs.Switches,
+		Hosts:         cs.Hosts,
+		BufferBytes:   cs.BufferBytes,
+		LocalFraction: cs.LocalFraction,
+		Seed:          seed,
+	}, nil
+}
+
+// NewHandler returns the sweep-service handler. It holds no state of its
+// own — the result cache (harness.SetStore) and runner width are process
+// configuration.
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/experiments", handleExperiments)
+	mux.HandleFunc("/v1/run", handleRun)
+	mux.HandleFunc("/v1/simulate", handleSimulate)
+	mux.HandleFunc("/v1/stats", handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type exp struct {
+		ID   string `json:"id"`
+		Jobs int    `json:"jobs"` // first-phase job count; 0 = analytic table
+	}
+	out := make([]exp, 0, len(harness.IDs()))
+	for _, id := range harness.IDs() {
+		out = append(out, exp{ID: id, Jobs: len(harness.Jobs(id))})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	id := r.URL.Query().Get("id")
+	before := harness.CacheStats()
+	table, err := harness.RunTable(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (have %v)", id, harness.IDs())
+		return
+	}
+	after := harness.CacheStats()
+	w.Header().Set("X-Memo-Hits", fmt.Sprint(after.Hits-before.Hits))
+	w.Header().Set("X-Memo-Misses", fmt.Sprint(after.Misses-before.Misses))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	table.Fprint(w)
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req struct {
+		Configs []ConfigSpec `json:"configs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "no configs in request")
+		return
+	}
+	cfgs := make([]engine.Config, len(req.Configs))
+	for i, cs := range req.Configs {
+		cfg, err := cs.config()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "config %d: %v", i, err)
+			return
+		}
+		cfgs[i] = cfg
+	}
+	before := harness.CacheStats()
+	results, errs := harness.DefaultRunner().RunConfigsIsolated(cfgs)
+	after := harness.CacheStats()
+	type slot struct {
+		Result *engine.Result `json:"result,omitempty"`
+		Error  string         `json:"error,omitempty"`
+	}
+	out := make([]slot, len(cfgs))
+	for i := range cfgs {
+		if errs[i] != nil {
+			out[i] = slot{Error: errs[i].Error()}
+		} else {
+			res := results[i]
+			out[i] = slot{Result: &res}
+		}
+	}
+	w.Header().Set("X-Memo-Hits", fmt.Sprint(after.Hits-before.Hits))
+	w.Header().Set("X-Memo-Misses", fmt.Sprint(after.Misses-before.Misses))
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, harness.CacheStats())
+}

@@ -1,0 +1,25 @@
+package trace
+
+import "crypto/sha256"
+
+// Hash returns the trace's 256-bit content identity: the SHA-256 of its
+// canonical file serialization (Write). Two traces hash equal exactly when
+// Write produces identical bytes, so a trace loaded from disk hashes the
+// same as the generated trace it was saved from — the property the result
+// cache's (config, trace, code-version) keys rely on.
+//
+// The hash is recomputed on each call (about a microsecond per 100 KB of
+// trace); callers hashing many configs over one trace amortize it through
+// the cache-key layer, not here, keeping Trace free of hidden mutable
+// state.
+func (t *Trace) Hash() ([32]byte, error) {
+	h := sha256.New()
+	if err := t.Write(h); err != nil {
+		// Write only fails on unserializable traces (oversized name) or
+		// writer errors; sha256 never errors, so this is the former.
+		return [32]byte{}, err
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out, nil
+}

@@ -1,15 +1,15 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_6.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_7.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
 // path allocation behavior, sharded-kernel scaling, placement-matrix
-// wall-clocks, figure wall-clocks, vectorized-math kernels, numasim model
-// parity). It only runs when explicitly requested, because it spends bench
-// time:
+// wall-clocks, figure wall-clocks, result-cache memoization wall-clocks,
+// vectorized-math kernels, numasim model parity). It only runs when
+// explicitly requested, because it spends bench time:
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_6.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_7.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
@@ -21,9 +21,12 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/engine"
 	"pifsrec/internal/harness"
+	"pifsrec/internal/memo"
 	"pifsrec/internal/numasim"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
@@ -70,6 +73,17 @@ type benchSnapshot struct {
 	// NumasimParityWorstPct is the worst |event-analytic|/analytic AppGBs
 	// delta across the full numasim seed sweep, in percent.
 	NumasimParityWorstPct float64 `json:"numasim_parity_worst_pct"`
+	// Memo is the content-addressed result cache: per-sweep cold vs warm
+	// (all-hit) wall-clock, the incremental cost of re-running a sweep with
+	// exactly one config edited, and the key/store micro-costs.
+	Memo struct {
+		ColdWallMs       map[string]float64 `json:"cold_wall_ms"`
+		WarmWallMs       map[string]float64 `json:"warm_wall_ms"`
+		WarmSpeedup      map[string]float64 `json:"warm_speedup"`
+		OneChangedWallMs map[string]float64 `json:"one_changed_wall_ms"`
+		HashNsPerConfig  float64            `json:"hash_ns_per_config"`
+		StoreRoundTripNs float64            `json:"store_roundtrip_ns_per_entry"`
+	} `json:"memo"`
 }
 
 func toLine(r testing.BenchmarkResult) benchLine {
@@ -97,11 +111,11 @@ func cpuModel() string {
 
 func TestWriteBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_6.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_7.json")
 	}
 
 	var snap benchSnapshot
-	snap.PR = 6
+	snap.PR = 7
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -230,13 +244,91 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 	snap.NumasimParityWorstPct = worst
 
+	// Result-cache memoization: cold sweep, all-hit warm sweep, and the
+	// incremental re-run after editing exactly one config.
+	snap.Memo.ColdWallMs = map[string]float64{}
+	snap.Memo.WarmWallMs = map[string]float64{}
+	snap.Memo.WarmSpeedup = map[string]float64{}
+	snap.Memo.OneChangedWallMs = map[string]float64{}
+	for _, id := range []string{"fig12a", "fig13a"} {
+		store, err := memo.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := harness.SetStore(store)
+
+		start := time.Now()
+		if err := harness.Run(id, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		cold := time.Since(start)
+		snap.Memo.ColdWallMs[id] = float64(cold.Nanoseconds()) / 1e6
+
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := harness.Run(id, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snap.Memo.WarmWallMs[id] = float64(r.NsPerOp()) / 1e6
+		snap.Memo.WarmSpeedup[id] = float64(cold.Nanoseconds()) / float64(r.NsPerOp())
+
+		// Edit one config (seed bump) and re-run the sweep: exactly one
+		// simulation plus len-1 cache hits.
+		jobs := harness.Jobs(id)
+		edited := *jobs[0].Engine
+		edited.Seed += 1000
+		jobs[0].Engine = &edited
+		start = time.Now()
+		harness.DefaultRunner().RunJobs(jobs)
+		snap.Memo.OneChangedWallMs[id] = float64(time.Since(start).Nanoseconds()) / 1e6
+
+		harness.SetStore(prev)
+	}
+
+	// Key derivation cost: canonical encoding + SHA-256 for one engine job.
+	hashJobs := harness.Jobs("fig12a")
+	hr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hashJobs[i%len(hashJobs)].Hash(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	snap.Memo.HashNsPerConfig = float64(hr.NsPerOp())
+
+	// Store round trip: encode/Put + Get/decode of a realistic entry.
+	rtStore, err := memo.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtStore.SetLRUBytes(0) // force the disk path, the cold-start cost
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := memo.New(fmt.Sprintf("rt-%d", i%1024)).Sum()
+			if err := rtStore.Put(h, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := rtStore.Get(h); !ok {
+				b.Fatal("round-trip miss")
+			}
+		}
+	})
+	snap.Memo.StoreRoundTripNs = float64(rr.NsPerOp())
+
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_6.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_7.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_6.json: %.1fM events/sec, request path %d allocs/op\n",
-		snap.EventKernel.EventsPerSec/1e6, snap.RequestPath.AllocsPerOp)
+	fmt.Printf("wrote BENCH_7.json: %.1fM events/sec, warm fig13a %.1fx over cold\n",
+		snap.EventKernel.EventsPerSec/1e6, snap.Memo.WarmSpeedup["fig13a"])
 }
