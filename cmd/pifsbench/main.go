@@ -24,7 +24,24 @@ func main() {
 	model := flag.String("model", string(numasim.ModelAnalytic),
 		"numasim implementation for fig5/fig6: analytic (closed form) or event (component simulation; see numasim-parity)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (created if missing; warm sweeps re-simulate only configs the cache has never seen)")
+	shards := flag.Int("shards", 0, "engine shards per simulation (0 = split the pool's cores automatically; clamped per config to its component-group count; results are identical at any count)")
+	placement := flag.String("placement", "", "dynamic placement flavor for every job: affinity (traffic-aware co-location, the default) or weight (weight-only LPT); pure scheduling, tables are identical either way")
 	flag.Parse()
+
+	// Scheduling flags fail fast with exit code 2 before any sweep starts.
+	// The per-config upper bound (component groups) varies across a sweep,
+	// so over-asking clamps per config; negative counts are always a typo.
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "pifsbench: -shards %d must be at least 1 (or 0 for the automatic core split)\n", *shards)
+		os.Exit(2)
+	}
+	switch *placement {
+	case "", "affinity", "weight":
+	default:
+		fmt.Fprintf(os.Stderr, "pifsbench: unknown -placement %q (have affinity, weight)\n", *placement)
+		os.Exit(2)
+	}
+	harness.SetJobScheduling(*shards, *placement)
 
 	// The cache directory is probed before any sweep starts: a path that
 	// cannot be created or written is a usage error now, not a degraded

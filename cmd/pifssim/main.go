@@ -35,6 +35,8 @@ func main() {
 	hosts := flag.Int("hosts", 1, "concurrent hosts")
 	buffer := flag.Int("buffer", 512<<10, "on-switch buffer bytes (PIFS-Rec)")
 	shards := flag.Int("shards", 1, "engine shards (conservative-window intra-sim parallelism; results are identical at any count and placement)")
+	placement := flag.String("placement", "affinity", "dynamic placement flavor: affinity (traffic-aware co-location) or weight (weight-only LPT); pure scheduling, results are identical either way")
+	splitBanks := flag.Bool("split-banks", false, "run every DRAM channel bank on its own placement group (models per-bank hop latency — a different machine, so results differ from the fused default)")
 	faults := flag.String("faults", "", "fault-injection plan (JSON file; see internal/fault)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (created if missing; sweeps re-simulate only configs the cache has never seen)")
 	experiment := flag.String("experiment", "", "run one named experiment sweep instead of a single config (see pifsbench -list)")
@@ -106,11 +108,17 @@ func main() {
 	// clamping. The bound comes from the engine's own defaulting
 	// (Config.ComponentGroups), so zero-valued flags count what the run
 	// will really assemble.
-	bound := pifsrec.Config{Hosts: *hosts, Switches: *switches, Devices: *devices}
+	bound := pifsrec.Config{Hosts: *hosts, Switches: *switches, Devices: *devices, SplitBanks: *splitBanks}
 	if groups := bound.ComponentGroups(); *shards < 1 || *shards > groups {
 		fmt.Fprintf(os.Stderr,
 			"pifssim: -shards %d outside [1, %d]: the configuration has %d component groups (hosts + switches + devices after defaulting)\n",
 			*shards, groups, groups)
+		os.Exit(2)
+	}
+	switch *placement {
+	case "affinity", "weight":
+	default:
+		fmt.Fprintf(os.Stderr, "pifssim: unknown -placement %q (have affinity, weight)\n", *placement)
 		os.Exit(2)
 	}
 
@@ -164,13 +172,15 @@ func main() {
 		Scheme:      pifsrec.Scheme(*scheme),
 		Model:       m,
 		Trace:       tr,
-		Devices:     *devices,
-		Switches:    *switches,
-		Hosts:       *hosts,
-		Shards:      *shards,
-		BufferBytes: *buffer,
-		Faults:      plan,
-		Seed:        1,
+		Devices:       *devices,
+		Switches:      *switches,
+		Hosts:         *hosts,
+		Shards:        *shards,
+		PlacementMode: *placement,
+		SplitBanks:    *splitBanks,
+		BufferBytes:   *buffer,
+		Faults:        plan,
+		Seed:          1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pifssim:", err)
@@ -184,12 +194,33 @@ func main() {
 	fmt.Printf("buffer hit ratio: %.1f%%; pages migrated: %d; migration stall: %d ns\n",
 		100*res.BufferHitRatio, res.PagesMigrated, res.MigrationStallNS)
 	fmt.Printf("device access balance: mean %.0f, std %.0f\n", res.DeviceAccessMean, res.DeviceAccessStd)
+	s := res.Sched
+	crossPct := 0.0
+	if s.Envelopes > 0 {
+		crossPct = 100 * float64(s.CrossShardEnvelopes) / float64(s.Envelopes)
+	}
+	fmt.Printf("sched: %d workers (%s); %d envelopes, %d cross-shard (%.1f%%)\n",
+		s.Workers, *placement, s.Envelopes, s.CrossShardEnvelopes, crossPct)
+	fmt.Printf("sched: %d windows run, %d elided; fired share %s\n",
+		s.WindowsRun, s.WindowsElided, firedShare(s.WorkerFiredShare))
 	if plan != nil {
 		fmt.Printf("faults: %d retries, %d timeouts, %d aborted rows, %d aborted bags, %d rerouted rows\n",
 			res.FaultRetries, res.FaultTimeouts, res.AbortedRows, res.AbortedBags, res.ReroutedRows)
 		fmt.Printf("faults: degraded %.1f%% of the run; goodput %.0f bags/s; link stall %d ns\n",
 			100*res.DegradedFraction, res.GoodputBagsPerSec, res.LinkFaultStallNS)
 	}
+}
+
+// firedShare renders per-worker fired fractions as compact percentages.
+func firedShare(shares []float64) string {
+	out := "["
+	for i, s := range shares {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.0f%%", 100*s)
+	}
+	return out + "]"
 }
 
 func cacheDesc(dir string) string {

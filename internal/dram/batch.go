@@ -103,6 +103,13 @@ func (c *Controller) submitRange(addr uint64, bytes int, isWrite bool, extraNS s
 	checkBatchArgs(bytes, extraNS, done, fnc)
 	lines := bytes / accessBytes
 	batch := c.allocBatch(lines, extraNS, done, fnc, arg)
+	if c.split != nil {
+		for l := 0; l < lines; l++ {
+			c.stageSplitLine(addr + uint64(l*accessBytes))
+		}
+		c.flushSplit(batch, isWrite)
+		return
+	}
 	for l := 0; l < lines; l++ {
 		c.enqueueLine(addr+uint64(l*accessBytes), isWrite, batch)
 	}
@@ -117,6 +124,15 @@ func (c *Controller) submitBatch(addrs []uint64, vecBytes int, isWrite bool, ext
 	}
 	lines := vecBytes / accessBytes
 	batch := c.allocBatch(len(addrs)*lines, extraNS, done, fnc, arg)
+	if c.split != nil {
+		for _, addr := range addrs {
+			for l := 0; l < lines; l++ {
+				c.stageSplitLine(addr + uint64(l*accessBytes))
+			}
+		}
+		c.flushSplit(batch, isWrite)
+		return
+	}
 	for _, addr := range addrs {
 		for l := 0; l < lines; l++ {
 			c.enqueueLine(addr+uint64(l*accessBytes), isWrite, batch)

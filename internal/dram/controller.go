@@ -70,6 +70,10 @@ type Controller struct {
 	freeBatches []int32
 
 	banks []*ChannelBank
+
+	// split is non-nil in split-bank mode (see split.go): channels live on
+	// their own placement groups and submits/completions ride the mailbox.
+	split *splitCtl
 }
 
 // NewController builds a controller. It panics on invalid configuration:
@@ -141,8 +145,14 @@ type ChannelBank struct {
 // Channel returns the bank's channel index within its controller.
 func (b *ChannelBank) Channel() int { return b.ch.idx }
 
-// ComponentGroup returns the owning controller's placement group.
-func (b *ChannelBank) ComponentGroup() int32 { return b.ch.ctl.group }
+// ComponentGroup returns the owning controller's placement group — or the
+// bank's own group in split mode, where the bank is a real endpoint.
+func (b *ChannelBank) ComponentGroup() int32 {
+	if b.ch.sp != nil {
+		return b.ch.sp.group
+	}
+	return b.ch.ctl.group
+}
 
 // CostWeight scales with the channel's peak bandwidth, so DDR5 banks weigh
 // more than DDR4 banks and a group's seed tracks its real service capacity.
@@ -150,9 +160,14 @@ func (b *ChannelBank) CostWeight() float64 {
 	return b.ch.ctl.tim.PeakBandwidthGBs() / 16
 }
 
-// HandleMsg panics: channel banks are cost components, not endpoints.
-func (b *ChannelBank) HandleMsg(sim.Envelope) {
-	panic(fmt.Sprintf("dram: channel bank %d is not a message endpoint", b.ch.idx))
+// HandleMsg consumes owner->bank line batches in split mode; outside split
+// mode banks are cost components, not endpoints, and it panics.
+func (b *ChannelBank) HandleMsg(env sim.Envelope) {
+	if b.ch.sp != nil && env.P.Kind == KindBankLines {
+		b.ch.sp.handleLines(b.ch, env)
+		return
+	}
+	panic(fmt.Sprintf("dram: channel bank %d got message kind %#x", b.ch.idx, env.P.Kind))
 }
 
 // Stats returns this bank's own counters.
@@ -166,6 +181,11 @@ func (c *Controller) Submit(r *Request) {
 		panic("dram: request without Done callback")
 	}
 	batch := c.allocBatch(1, 0, r.Done, nil, 0)
+	if c.split != nil {
+		c.stageSplitLine(r.Addr)
+		c.flushSplit(batch, r.IsWrite)
+		return
+	}
 	c.enqueueLine(r.Addr, r.IsWrite, batch)
 }
 
@@ -262,6 +282,10 @@ type channel struct {
 	// serviceThunk is the one closure this channel ever schedules; reusing
 	// it keeps the kick path allocation-free.
 	serviceThunk func()
+
+	// sp is non-nil in split-bank mode: this channel lives on its own
+	// placement group and reports completions through the mailbox.
+	sp *splitChan
 
 	// Pooled channel-local request arena with free-list recycling.
 	reqs     []request
@@ -373,7 +397,11 @@ func (ch *channel) service() {
 		}
 		batch := rq.batch
 		ch.freeReqs = append(ch.freeReqs, id)
-		ch.ctl.lineIssued(batch, doneAt)
+		if ch.sp != nil {
+			ch.sp.lineIssued(ch, batch, doneAt)
+		} else {
+			ch.ctl.lineIssued(batch, doneAt)
+		}
 	}
 }
 

@@ -1,0 +1,241 @@
+// Split-bank mode: each DRAM channel as its own placement group.
+//
+// By default a controller's channels execute on their owner's engine — the
+// ChannelBank components contribute cost weights but the memory work itself
+// is pinned to the owner's shard. EnableSplit moves every channel onto a
+// private placement group with its own engine: the owner's submit paths
+// stage line batches as mailbox messages (one per touched channel), the
+// bank's FR-FCFS service loop runs wherever the packer puts it, and
+// completions return as mailbox messages folded into the owner's batch
+// table. The extra hop costs one conservative window of simulated latency
+// each way — split mode is a different machine, not a different schedule, so
+// it is part of the canonical config encoding — but within a split
+// configuration results stay byte-identical at every shard count and
+// placement, exactly like the unsplit protocol.
+package dram
+
+import (
+	"fmt"
+
+	"pifsrec/internal/sim"
+)
+
+// Mailbox payload kinds of the split-bank protocol.
+const (
+	// KindBankLines carries one submit's lines for one channel
+	// (owner -> bank): Addrs holds the expanded 64 B line addresses,
+	// Flag != 0 marks writes, U0 is the owner's batch slot.
+	KindBankLines uint16 = 0x20
+	// KindBankDone reports one KindBankLines chunk fully issued
+	// (bank -> owner): U0 echoes the batch slot, A is the chunk's last
+	// data-beat time.
+	KindBankDone uint16 = 0x21
+)
+
+// splitCtl is the owner-side state of split mode: per-channel destinations,
+// line staging buffers, and the owner group's outbox.
+type splitCtl struct {
+	window  sim.Tick
+	ob      *sim.Outbox
+	dst     []splitDst // per channel
+	buf     [][]uint64 // per-channel line staging, reused across submits
+	touched []int32    // channels staged by the current submit
+}
+
+type splitDst struct {
+	port  int32
+	group int32
+	ep    int32
+}
+
+// splitChan is the bank-side state: chunk completion tracking plus the
+// return path to the owner's hub.
+type splitChan struct {
+	group  int32
+	ob     *sim.Outbox
+	port   int32
+	owner  int32 // owner controller's group
+	hubEp  int32
+	window sim.Tick
+
+	// Pooled chunk slots, one per in-flight KindBankLines message.
+	chunks     []chunkState
+	freeChunks []int32
+}
+
+type chunkState struct {
+	remaining int32
+	batch     int32
+	last      sim.Tick
+}
+
+// EnableSplit allocates one placement group per channel and rebinds each
+// channel's engine handle to its own group. Call after the owner's group
+// exists and before registration; panics if called twice.
+func (c *Controller) EnableSplit(se *sim.ShardedEngine) {
+	if c.split != nil {
+		panic("dram: EnableSplit called twice")
+	}
+	c.split = &splitCtl{window: se.Window()}
+	for _, ch := range c.chans {
+		g := se.NewGroup(0)
+		ch.eng = se.Group(int(g))
+		ch.sp = &splitChan{group: g, window: se.Window()}
+	}
+}
+
+// SplitEnabled reports whether the controller runs in split-bank mode.
+func (c *Controller) SplitEnabled() bool { return c.split != nil }
+
+// BankGroup returns channel idx's placement group in split mode (the
+// owner's group otherwise).
+func (c *Controller) BankGroup(idx int) int32 {
+	if sp := c.chans[idx].sp; sp != nil {
+		return sp.group
+	}
+	return c.group
+}
+
+// ChannelEngine returns the engine channel idx schedules on: the owner's in
+// normal mode, the bank group's in split mode. Fault injection uses it to
+// run per-channel events on the channel's own shard.
+func (c *Controller) ChannelEngine(idx int) *sim.Engine { return c.chans[idx].eng }
+
+// RegisterSplit registers the owner-side completion hub and the per-bank
+// endpoints (the ChannelBank components, now real message endpoints in their
+// own groups) and allocates the protocol's mailbox ports. Must run after
+// every fixed endpoint has registered: split endpoints extend the id space.
+func (c *Controller) RegisterSplit(se *sim.ShardedEngine) {
+	sp := c.split
+	if sp == nil {
+		panic("dram: RegisterSplit without EnableSplit")
+	}
+	hubEp := se.Register(&splitHub{ctl: c})
+	sp.ob = se.Outbox(int(c.group))
+	sp.dst = make([]splitDst, len(c.chans))
+	sp.buf = make([][]uint64, len(c.chans))
+	sp.touched = make([]int32, 0, len(c.chans))
+	banks := c.Banks()
+	for i, ch := range c.chans {
+		ep := se.Register(banks[i])
+		sp.dst[i] = splitDst{port: se.NewPort(), group: ch.sp.group, ep: ep}
+		ch.sp.port = se.NewPort()
+		ch.sp.owner = c.group
+		ch.sp.hubEp = hubEp
+		ch.sp.ob = se.Outbox(int(ch.sp.group))
+	}
+}
+
+// splitHub receives bank->owner completions in the owner's group; it carries
+// no cost of its own (the owner's weight already covers batch bookkeeping).
+type splitHub struct {
+	sim.NoWindowHooks
+	ctl *Controller
+}
+
+func (h *splitHub) ComponentGroup() int32 { return h.ctl.group }
+func (h *splitHub) CostWeight() float64   { return 0 }
+
+func (h *splitHub) HandleMsg(env sim.Envelope) {
+	if env.P.Kind != KindBankDone {
+		panic(fmt.Sprintf("dram: split hub got message kind %#x", env.P.Kind))
+	}
+	h.ctl.chunkDone(env.P.U0, sim.Tick(env.P.A))
+}
+
+// stageSplitLine gathers one line into its channel's staging buffer.
+func (c *Controller) stageSplitLine(addr uint64) {
+	sp := c.split
+	chn := c.geo.Map(addr).Channel
+	if len(sp.buf[chn]) == 0 {
+		sp.touched = append(sp.touched, int32(chn))
+	}
+	sp.buf[chn] = append(sp.buf[chn], addr)
+}
+
+// flushSplit posts one KindBankLines message per staged channel and re-arms
+// the batch's completion counter to count chunks instead of lines.
+func (c *Controller) flushSplit(batch int32, isWrite bool) {
+	sp := c.split
+	var flag uint8
+	if isWrite {
+		flag = 1
+	}
+	at := c.eng.Now() + sp.window
+	for _, chn := range sp.touched {
+		d := &sp.dst[chn]
+		sp.ob.Post(d.port, d.group, d.ep, at,
+			sim.Payload{Kind: KindBankLines, Flag: flag, U0: batch}, sp.buf[chn])
+		sp.buf[chn] = sp.buf[chn][:0]
+	}
+	c.batches[batch].remaining = int32(len(sp.touched))
+	sp.touched = sp.touched[:0]
+}
+
+// chunkDone folds one channel chunk into its batch; the last chunk schedules
+// the single completion event, clamped to the message's arrival time (the
+// report itself rode a window-latency hop, so the completion can never be
+// observed earlier).
+func (c *Controller) chunkDone(batch int32, last sim.Tick) {
+	b := &c.batches[batch]
+	if last > b.last {
+		b.last = last
+	}
+	b.remaining--
+	if b.remaining == 0 {
+		if now := c.eng.Now(); b.last+b.extra < now {
+			b.last = now - b.extra
+		}
+		c.eng.At(b.last+b.extra, b.fire)
+	}
+}
+
+// handleLines enqueues one chunk's lines on the bank (bank engine context).
+// In split mode a request's batch field holds the bank-local chunk id; the
+// owner's batch slot travels in the chunk.
+func (sp *splitChan) handleLines(ch *channel, env sim.Envelope) {
+	id := sp.allocChunk()
+	ck := &sp.chunks[id]
+	ck.remaining = int32(len(env.Addrs))
+	ck.batch = env.P.U0
+	ck.last = 0
+	write := env.P.Flag != 0
+	now := ch.eng.Now()
+	for _, addr := range env.Addrs {
+		rid := ch.allocReq()
+		rq := &ch.reqs[rid]
+		rq.addr = addr
+		rq.write = write
+		rq.submit = now
+		rq.batch = id
+		rq.loc = ch.ctl.geo.Map(addr)
+		ch.q.push(rid)
+	}
+	ch.kick(now)
+}
+
+func (sp *splitChan) allocChunk() int32 {
+	if n := len(sp.freeChunks); n > 0 {
+		id := sp.freeChunks[n-1]
+		sp.freeChunks = sp.freeChunks[:n-1]
+		return id
+	}
+	sp.chunks = append(sp.chunks, chunkState{})
+	return int32(len(sp.chunks) - 1)
+}
+
+// lineIssued is the split-mode counterpart of Controller.lineIssued: the
+// chunk's last line posts the completion report back to the owner and
+// recycles the slot.
+func (sp *splitChan) lineIssued(ch *channel, chunk int32, doneAt sim.Tick) {
+	ck := &sp.chunks[chunk]
+	if doneAt > ck.last {
+		ck.last = doneAt
+	}
+	ck.remaining--
+	if ck.remaining == 0 {
+		sp.ob.Post(sp.port, sp.owner, sp.hubEp, ch.eng.Now()+sp.window,
+			sim.Payload{Kind: KindBankDone, U0: ck.batch, A: uint64(ck.last)}, nil)
+		sp.freeChunks = append(sp.freeChunks, chunk)
+	}
+}

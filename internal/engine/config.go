@@ -72,6 +72,29 @@ type Config struct {
 	// prove it. Nil selects the default.
 	Placement sim.PlacementPolicy
 
+	// PlacementMode selects the dynamic placement flavor: "" or "affinity"
+	// (the default) co-locates chatty group pairs along the measured
+	// traffic-affinity EMA subject to the cost-balance bound; "weight" is
+	// the weight-only LPT baseline. Ignored when Placement is set. Pure
+	// scheduling — results are byte-identical under every mode — so it is
+	// NOT part of the canonical config encoding.
+	PlacementMode string
+
+	// SplitBanks moves every DRAM channel bank (host DIMM populations and
+	// CXL device controllers alike) onto its own placement group: submits
+	// and completions ride the mailbox with one conservative window of
+	// latency each way, and the packer can move memory work off hot host
+	// shards. This changes the simulated machine (per-bank hop latency), so
+	// it IS part of the canonical config encoding, and ComponentGroups
+	// grows by the total channel count.
+	SplitBanks bool
+
+	// DisableBarrierElision turns off empty-window barrier elision (the
+	// pay-as-you-go synchronization fast path). Elision is pure scheduling
+	// — results are byte-identical either way — so the flag exists for
+	// A/B measurement and the invariance tests, not correctness.
+	DisableBarrierElision bool
+
 	// LocalFraction is the share of the embedding footprint that fits in
 	// local DRAM (stand-in for the paper's fixed 128 GB against multi-TB
 	// models). Default 0.125.
@@ -115,12 +138,21 @@ type Config struct {
 }
 
 // ComponentGroups returns the number of placement groups the configuration
-// assembles — hosts + switches + devices after defaulting — which is the
-// largest Shards value that buys any parallelism. CLI front-ends and the
-// harness runner reject requests outside [1, ComponentGroups].
+// assembles — hosts + switches + devices after defaulting, plus one group
+// per DRAM channel under SplitBanks — which is the largest Shards value
+// that buys any parallelism. CLI front-ends and the harness runner reject
+// requests outside [1, ComponentGroups].
 func (c Config) ComponentGroups() int {
 	h, s, d := defaultCounts(c.Hosts, c.Switches, c.Devices)
-	return h + s + d
+	n := h + s + d
+	if c.SplitBanks {
+		hostGeo := localGeometry()
+		if c.Scheme == RecNMP {
+			hostGeo = nmpGeometry()
+		}
+		n += h*hostGeo.Channels + d*deviceGeometry().Channels
+	}
+	return n
 }
 
 // defaultCounts resolves zero host/switch/device counts to their defaults —
@@ -165,6 +197,11 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("engine: negative shard count %d", c.Shards)
+	}
+	switch c.PlacementMode {
+	case "", "affinity", "weight":
+	default:
+		return fmt.Errorf("engine: unknown placement mode %q (want affinity or weight)", c.PlacementMode)
 	}
 	if c.LocalFraction == 0 {
 		c.LocalFraction = 0.125
@@ -246,6 +283,12 @@ type Result struct {
 	AbortedBags       int     // bags that completed degraded
 	DegradedFraction  float64 // share of the run inside any fault window
 	GoodputBagsPerSec float64 // non-degraded bags per simulated second
+
+	// Sched is the run's scheduling-quality report (cross-shard envelopes,
+	// windows run/elided, per-worker fired share). Deterministic for a fixed
+	// (config, shards, placement) but NOT shard-count-invariant: invariance
+	// comparisons and the memo cache zero it before use.
+	Sched sim.SchedStats
 }
 
 // String summarizes a result.

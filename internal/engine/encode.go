@@ -12,7 +12,7 @@ import (
 // changes; the golden test in encode_test.go pins the current layout so a
 // drift without a bump fails loudly instead of silently aliasing cache
 // entries.
-const configEncodingVersion = 1
+const configEncodingVersion = 2
 
 // configMagic leads every canonical encoding so config identities can never
 // collide with other hashed byte strings.
@@ -25,11 +25,14 @@ var configMagic = [8]byte{'P', 'I', 'F', 'S', 'C', 'F', 'G', 0 + configEncodingV
 // explicit default encode identically and an invalid config is an error
 // here rather than a bogus cache key.
 //
-// Shards and Placement are deliberately NOT part of the identity: results
-// are byte-identical at every shard count and under every placement policy
+// Shards, Placement, PlacementMode, and DisableBarrierElision are
+// deliberately NOT part of the identity: results are byte-identical at
+// every shard count and under every placement policy and scheduling flavor
 // (the determinism gates from the sharded-engine and component-model work),
-// so they are scheduling decisions, not inputs. The trace contributes its
-// content hash (trace.Trace.Hash), not its bytes.
+// so they are scheduling decisions, not inputs. SplitBanks IS encoded — it
+// changes the simulated machine (per-bank hop latency), not just its
+// schedule. The trace contributes its content hash (trace.Trace.Hash), not
+// its bytes.
 func (c Config) CanonicalBinary() ([]byte, error) {
 	norm := c
 	if err := norm.fillDefaults(); err != nil {
@@ -71,6 +74,7 @@ func (c Config) CanonicalBinary() ([]byte, error) {
 	b = appendBool(b, norm.DisablePM)
 	b = appendBool(b, norm.DisableOSB)
 	b = appendBool(b, norm.TPPPolicy)
+	b = appendBool(b, norm.SplitBanks)
 
 	// Fault plan: normalization already dropped empty plans, so presence is
 	// meaningful. Encoded as its (deterministic) JSON form: struct fields

@@ -36,7 +36,7 @@ func baseEncodeConfig(t *testing.T) Config {
 // then update the golden value. NEVER update the golden without the salt
 // bump — stale cache entries would alias the new encoding.
 func TestCanonicalBinaryGolden(t *testing.T) {
-	const golden = "f9c574e9265cc3292ff1153c69ba9438cf31bc4c35bbc42d4b961fd243f5d895"
+	const golden = "dc2e10335326a90a36ab7376acb1ea4cc5560198a9fa279a2295e379c1cf7839"
 	b := encodeConfig(t, baseEncodeConfig(t))
 	sum := sha256.Sum256(b)
 	got := hex.EncodeToString(sum[:])

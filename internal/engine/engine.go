@@ -92,7 +92,7 @@ type system struct {
 // keeps programmatic sweeps (which probe deliberately oversized counts to
 // prove invariance) valid.
 func shardCount(cfg Config) int {
-	groups := cfg.Hosts + cfg.Switches + cfg.Devices
+	groups := cfg.ComponentGroups()
 	n := cfg.Shards
 	if n > groups {
 		n = groups
@@ -220,6 +220,11 @@ func (h *host) UsesWindowHooks() bool { return true }
 // WindowStart is a no-op (sim.Component).
 func (h *host) WindowStart(sim.Tick) {}
 
+// BarrierIdle reports true while the WindowEnd merge would be a no-op — no
+// access records buffered — making the host eligible for barrier elision
+// (sim.BarrierIdler).
+func (h *host) BarrierIdle() bool { return len(h.recAddrs) == 0 }
+
 // WindowEnd merges this host's buffered access records into the tier
 // manager. Hooks run single-threaded in registration (host id) order at
 // every barrier, so the merge order — and therefore every page-management
@@ -344,6 +349,7 @@ func build(cfg Config) (*system, error) {
 	if cfg.Placement != nil {
 		s.se.SetPlacement(cfg.Placement)
 	}
+	s.se.SetAffinityPlacement(cfg.PlacementMode != "weight")
 	// One placement group per host, switch, and device, in endpoint order;
 	// weights accrue as components register.
 	for g := 0; g < cfg.Hosts+cfg.Switches+cfg.Devices; g++ {
@@ -469,6 +475,18 @@ func build(cfg Config) (*system, error) {
 		s.hosts = append(s.hosts, hh)
 	}
 
+	// Split-bank mode: every DRAM channel gets its own placement group,
+	// allocated after the fixed host/switch/device groups in construction
+	// order (hosts' banks, then devices').
+	if cfg.SplitBanks {
+		for _, h := range s.hosts {
+			h.localDRAM.EnableSplit(s.se)
+		}
+		for _, dev := range s.devs {
+			dev.EnableSplitBanks(s.se)
+		}
+	}
+
 	s.wireLinks()
 	if cfg.Faults != nil {
 		s.armFaults(cfg.Faults)
@@ -505,7 +523,24 @@ func build(cfg Config) (*system, error) {
 
 	s.register()
 	s.se.SetBarrier(s.barrier)
+	if !cfg.DisableBarrierElision {
+		// The barrier only does work when completed bags owe a
+		// page-management epoch; between epochs it is skippable, which —
+		// with the hosts' WindowEnd merge idling on empty record buffers —
+		// lets the engine elide the whole barrier sequence on quiet windows.
+		s.se.SetBarrierIdle(s.barrierIdle)
+	}
 	return s, nil
+}
+
+// barrierIdle reports whether the next barrier would be a no-op: no
+// page-management epoch owed by the completed-bag count.
+func (s *system) barrierIdle() bool {
+	total := 0
+	for _, h := range s.hosts {
+		total += h.bagsDone
+	}
+	return s.epochsDone >= total/s.cfg.EpochBags
 }
 
 // register adds every component to the sharded engine in endpoint order —
@@ -514,12 +549,15 @@ func build(cfg Config) (*system, error) {
 // registry. The order fixes endpoint ids; it must match the endpoint
 // helpers and never depend on worker count or placement.
 func (s *system) register() {
+	split := s.cfg.SplitBanks
 	for _, h := range s.hosts {
 		if ep := s.se.Register(h); ep != s.hostEndpoint(h.id) {
 			panic(fmt.Sprintf("engine: host %d registered as endpoint %d", h.id, ep))
 		}
-		for _, b := range h.localDRAM.Banks() {
-			s.se.RegisterAux(b)
+		if !split {
+			for _, b := range h.localDRAM.Banks() {
+				s.se.RegisterAux(b)
+			}
 		}
 	}
 	for w, sw := range s.switches {
@@ -531,8 +569,21 @@ func (s *system) register() {
 		if ep := s.se.Register(dev); ep != s.deviceEndpoint(d) {
 			panic(fmt.Sprintf("engine: device %d registered as endpoint %d", d, ep))
 		}
-		for _, b := range dev.Banks() {
-			s.se.RegisterAux(b)
+		if !split {
+			for _, b := range dev.Banks() {
+				s.se.RegisterAux(b)
+			}
+		}
+	}
+	// Split-bank endpoints (hub + banks per controller) extend the id space
+	// past the fixed endpoints, in the same hosts-then-devices order as
+	// their group allocation.
+	if split {
+		for _, h := range s.hosts {
+			h.localDRAM.RegisterSplit(s.se)
+		}
+		for _, dev := range s.devs {
+			dev.RegisterSplitBanks(s.se)
 		}
 	}
 }
@@ -821,5 +872,6 @@ func (s *system) collect() Result {
 	if s.faultSched != nil && r.TotalNS > 0 {
 		r.DegradedFraction = float64(s.faultSched.DegradedNS(int64(r.TotalNS))) / float64(r.TotalNS)
 	}
+	r.Sched = s.se.SchedStats()
 	return r
 }

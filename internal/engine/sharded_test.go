@@ -18,6 +18,14 @@ import (
 // per group class, and more shards than groups (clamped).
 var shardCounts = []int{2, 3, 4, 16}
 
+// noSched strips the scheduling-quality report before an invariance
+// comparison: Sched is deterministic but deliberately NOT shard-count- or
+// placement-invariant (see Result.Sched).
+func noSched(r Result) Result {
+	r.Sched = sim.SchedStats{}
+	return r
+}
+
 // TestShardCountInvariantMatrix runs the full scheme x trace-kind matrix at
 // every shard count and requires Results identical to the 1-shard engine.
 func TestShardCountInvariantMatrix(t *testing.T) {
@@ -37,7 +45,7 @@ func TestShardCountInvariantMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s shards=%d: %v", kind, s, n, err)
 				}
-				if !reflect.DeepEqual(base, r) {
+				if !reflect.DeepEqual(noSched(base), noSched(r)) {
 					t.Errorf("%s/%s: shards=%d diverged from 1-shard engine:\n  1: %#v\n  %d: %#v",
 						kind, s, n, base, n, r)
 				}
@@ -77,7 +85,7 @@ func TestShardCountInvariantScaleOut(t *testing.T) {
 			if err != nil {
 				t.Fatalf("case %d shards=%d: %v", ci, n, err)
 			}
-			if !reflect.DeepEqual(base, r) {
+			if !reflect.DeepEqual(noSched(base), noSched(r)) {
 				t.Errorf("case %d: shards=%d diverged:\n  1: %#v\n  %d: %#v", ci, n, base, n, r)
 			}
 		}
@@ -152,12 +160,185 @@ func TestPlacementInvariantProperty(t *testing.T) {
 				if err != nil {
 					t.Fatalf("case %d shards=%d %s: %v", ci, n, pp.name, err)
 				}
-				if !reflect.DeepEqual(base, r) {
+				if !reflect.DeepEqual(noSched(base), noSched(r)) {
 					t.Errorf("case %d: shards=%d placement=%s diverged:\n  base: %#v\n  got:  %#v",
 						ci, n, pp.name, base, r)
 				}
 			}
+			// Dynamic-placement flavors and barrier elision are pure
+			// scheduling too: both modes, with and without elision, must
+			// match the 1-shard reference bit for bit.
+			for _, mode := range []string{"affinity", "weight"} {
+				for _, noElide := range []bool{false, true} {
+					variant := cfg
+					variant.Shards = n
+					variant.PlacementMode = mode
+					variant.DisableBarrierElision = noElide
+					r, err := Run(variant)
+					if err != nil {
+						t.Fatalf("case %d shards=%d mode=%s elide=%v: %v", ci, n, mode, !noElide, err)
+					}
+					if !reflect.DeepEqual(noSched(base), noSched(r)) {
+						t.Errorf("case %d: shards=%d mode=%s elide=%v diverged:\n  base: %#v\n  got:  %#v",
+							ci, n, mode, !noElide, base, r)
+					}
+					if noElide && r.Sched.WindowsElided != 0 {
+						t.Errorf("case %d: shards=%d mode=%s: %d windows elided with elision disabled",
+							ci, n, mode, r.Sched.WindowsElided)
+					}
+				}
+			}
 		}
+	}
+}
+
+// affinityGateConfig is the multi-switch configuration behind the affinity
+// hop-count gate and the CI regression check: enough groups (2 hosts + 2
+// switches + 8 devices) that placement has real freedom, with traffic
+// concentrated on host-switch-device paths the packer can co-locate.
+func affinityGateConfig(t *testing.T) Config {
+	t.Helper()
+	m := dlrm.RMC4().Scaled(64)
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3,
+		Switches: 2, Devices: 8, Hosts: 2, HostParallelism: 8}
+}
+
+// TestAffinityCutsCrossShardTraffic is the gating check of the traffic-
+// affinity packer: on the multi-switch configuration, affinity placement
+// must route no more cross-shard envelopes than weight-only LPT at shards 2
+// and 4 — and at least 25% fewer at shards 2 — while producing the
+// identical simulation Result (placement is pure scheduling).
+func TestAffinityCutsCrossShardTraffic(t *testing.T) {
+	cfg := affinityGateConfig(t)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4} {
+		byMode := map[string]Result{}
+		for _, mode := range []string{"affinity", "weight"} {
+			run := cfg
+			run.Shards = n
+			run.PlacementMode = mode
+			r, err := Run(run)
+			if err != nil {
+				t.Fatalf("shards=%d mode=%s: %v", n, mode, err)
+			}
+			if !reflect.DeepEqual(noSched(base), noSched(r)) {
+				t.Errorf("shards=%d mode=%s diverged from the 1-shard reference", n, mode)
+			}
+			byMode[mode] = r
+		}
+		aff, wt := byMode["affinity"].Sched, byMode["weight"].Sched
+		if aff.Envelopes != wt.Envelopes {
+			t.Fatalf("shards=%d: envelope totals differ (affinity %d, weight %d)", n, aff.Envelopes, wt.Envelopes)
+		}
+		if aff.CrossShardEnvelopes > wt.CrossShardEnvelopes {
+			t.Errorf("shards=%d: affinity cross-shard envelopes %d exceed weight-only %d",
+				n, aff.CrossShardEnvelopes, wt.CrossShardEnvelopes)
+		}
+		if n == 2 {
+			if limit := wt.CrossShardEnvelopes * 3 / 4; aff.CrossShardEnvelopes > limit {
+				t.Errorf("shards=2: affinity cross-shard envelopes %d above the 25%%-drop gate (weight-only %d, limit %d)",
+					aff.CrossShardEnvelopes, wt.CrossShardEnvelopes, limit)
+			}
+		}
+	}
+}
+
+// TestSplitBanksDeterminism pins the per-bank shard-engine machine: split
+// banks change the simulated system (one window of submit/complete latency
+// per channel hop), so results differ from the default wiring — but within
+// the split machine they stay byte-identical at every shard count,
+// placement mode, and adversarial static placement.
+func TestSplitBanksDeterminism(t *testing.T) {
+	cfg := affinityGateConfig(t)
+	fused, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := cfg
+	split.SplitBanks = true
+	base, err := Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalNS == fused.TotalNS {
+		t.Error("split banks left TotalNS unchanged — the per-bank hop latency never materialized")
+	}
+	if groups, fusedGroups := split.ComponentGroups(), cfg.ComponentGroups(); groups <= fusedGroups {
+		t.Errorf("split ComponentGroups() = %d, want more than the fused %d", groups, fusedGroups)
+	}
+	for _, n := range []int{2, 3, 4} {
+		for _, mode := range []string{"affinity", "weight"} {
+			run := split
+			run.Shards = n
+			run.PlacementMode = mode
+			r, err := Run(run)
+			if err != nil {
+				t.Fatalf("split shards=%d mode=%s: %v", n, mode, err)
+			}
+			if !reflect.DeepEqual(noSched(base), noSched(r)) {
+				t.Errorf("split banks: shards=%d mode=%s diverged from the 1-shard split reference", n, mode)
+			}
+		}
+		for _, pp := range placementPolicies() {
+			run := split
+			run.Shards = n
+			run.Placement = pp.policy
+			r, err := Run(run)
+			if err != nil {
+				t.Fatalf("split shards=%d placement=%s: %v", n, pp.name, err)
+			}
+			if !reflect.DeepEqual(noSched(base), noSched(r)) {
+				t.Errorf("split banks: shards=%d placement=%s diverged", n, pp.name)
+			}
+		}
+	}
+}
+
+// TestBarrierElisionFiresAndStaysInvisible checks the empty-barrier fast
+// path end to end: a RecNMP run (long local-DRAM stretches between fabric
+// exchanges) must elide a meaningful share of its windows, and disabling
+// elision must change nothing but the counter.
+func TestBarrierElisionFiresAndStaysInvisible(t *testing.T) {
+	m := dlrm.RMC4().Scaled(64)
+	tr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scheme: RecNMP, Model: m, Trace: tr, Seed: 3, Hosts: 2, Devices: 4, EpochBags: 16}
+	elided, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elided.Sched.WindowsElided == 0 {
+		t.Errorf("RecNMP run elided no windows: %+v", elided.Sched)
+	}
+	off := cfg
+	off.DisableBarrierElision = true
+	full, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Sched.WindowsElided != 0 {
+		t.Errorf("%d windows elided with elision disabled", full.Sched.WindowsElided)
+	}
+	if got, want := full.Sched.WindowsRun, elided.Sched.WindowsRun+elided.Sched.WindowsElided; got != want {
+		t.Errorf("disabled run executed %d windows, want elided run's run+elided = %d", got, want)
+	}
+	if !reflect.DeepEqual(noSched(elided), noSched(full)) {
+		t.Error("barrier elision changed the simulation result")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"pifsrec/internal/engine"
+	"pifsrec/internal/sim"
 )
 
 // Runner fans independent simulation jobs across a bounded worker pool.
@@ -155,6 +156,9 @@ func (r *Runner) RunConfigsIsolated(cfgs []engine.Config) ([]engine.Result, []er
 			errs[i] = err
 			return
 		}
+		// Strip the scheduling-quality report like the memoized path does:
+		// the core split varies with pool width, and sweep answers must not.
+		res.Sched = sim.SchedStats{}
 		results[i] = res
 	})
 	return results, errs

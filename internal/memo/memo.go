@@ -32,7 +32,7 @@ import (
 // when input encodings drift, forcing the bump; the result-schema
 // fingerprint folded in by the harness catches result-shape drift
 // automatically.
-const CodeVersion = "pifsrec-sim-v7"
+const CodeVersion = "pifsrec-sim-v8"
 
 // Hash is a 256-bit content identity.
 type Hash [32]byte

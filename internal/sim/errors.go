@@ -30,6 +30,22 @@ func (e *EventLimitError) Error() string {
 	return fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.At)
 }
 
+// ElisionError reports a barrier elision attempted while a cross-group
+// message was still staged in an outbox — eliding the window would silently
+// drop it. The engine only elides after verifying every outbox is empty, so
+// this firing means the elision gate and the outbox state disagree (an
+// engine bug, not a component one). elideWindow panics with it;
+// ShardedEngine.RunChecked converts the panic into an ordinary error.
+type ElisionError struct {
+	Group  int32
+	Staged int
+}
+
+func (e *ElisionError) Error() string {
+	return fmt.Sprintf("sim: barrier elision with %d staged message(s) in group %d's outbox — elision gate violated",
+		e.Staged, e.Group)
+}
+
 // RunChecked is Run with the engine-level watchdogs converted to errors: a
 // lookahead violation or event-limit blowout on any worker surfaces as a
 // structured error on the caller instead of killing the process. Panics
@@ -41,6 +57,8 @@ func (se *ShardedEngine) RunChecked() (end Tick, err error) {
 			case *LookaheadError:
 				err = e
 			case *EventLimitError:
+				err = e
+			case *ElisionError:
 				err = e
 			default:
 				panic(p)

@@ -143,7 +143,57 @@ type ShardedEngine struct {
 	// persistent window workers (only for >1 worker on >1 core)
 	workCh []chan Tick
 	doneCh chan workerDone
+
+	// Scheduling-quality counters. Deterministic for a fixed (config,
+	// workers, placement) but NOT shard-count-invariant — invariance tests
+	// zero them before comparing results.
+	windowsRun    int64
+	windowsElided int64
+	envCount      int64
+	crossCount    int64
+
+	// curWorker is each group's worker under the most recent plan (static
+	// assignment when placed, zeros for one worker); workerFired accumulates
+	// fired-event deltas per worker for the fired-share stat.
+	curWorker   []int32
+	workerFired []uint64
+
+	// Barrier-elision state: a window that staged no cross-group messages
+	// skips the whole barrier sequence when every hooked component is a
+	// BarrierIdler reporting idle and the installed barrier (if any) reports
+	// idle through barrierIdleFn. A hooked component that is not an idler
+	// vetoes elision for the run (hookVeto).
+	idlers        []BarrierIdler
+	hookVeto      bool
+	barrierIdleFn func() bool
+
+	// Traffic-affinity state (dynamic multi-worker placement only): aff is a
+	// dense n x n EMA of per-window cross-group envelope counts keyed
+	// a*n+b (a < b), affPairs lists the live keys, affDelta/affTouched stage
+	// the current window's counts. The packer scratch below keeps the
+	// per-window affinity plan allocation-free.
+	affinity    bool
+	aff         []float64
+	affDelta    []float64
+	affIn       []bool
+	affPairs    []int
+	affTouched  []int
+	edgeSc      []AffinityEdge
+	parentSc    []int32
+	cwSc        []float64
+	rootsSc     []int32
+	groupPos    []int32
+	posStamp    []uint32
+	posStampGen uint32
 }
+
+// affMaxGroups bounds the dense affinity matrix: beyond it the engine falls
+// back to weight-only LPT rather than allocate O(n^2) floats.
+const affMaxGroups = 512
+
+// affPrune is the EMA floor below which an affinity pair is dropped from the
+// live set — stale edges decay out in a few dozen windows.
+const affPrune = 1.0 / 1024
 
 // workerDone is one worker's window-completion report; pan carries a
 // recovered panic (nil on a clean window) so a shard blowing a watchdog
@@ -164,7 +214,7 @@ func NewSharded(workers int, window Tick) *ShardedEngine {
 	if window <= 0 {
 		panic(fmt.Sprintf("sim: NewSharded with window %d", window))
 	}
-	se := &ShardedEngine{workers: workers, window: window}
+	se := &ShardedEngine{workers: workers, window: window, affinity: true}
 	se.shim = deliverShim{se}
 	return se
 }
@@ -217,6 +267,7 @@ func (se *ShardedEngine) Register(c Component) int32 {
 	se.comps = append(se.comps, c)
 	if c.UsesWindowHooks() {
 		se.hooked = append(se.hooked, c)
+		se.noteIdler(c)
 	}
 	return int32(len(se.comps) - 1)
 }
@@ -234,6 +285,18 @@ func (se *ShardedEngine) RegisterAux(c Component) {
 	se.aux = append(se.aux, c)
 	if c.UsesWindowHooks() {
 		se.hooked = append(se.hooked, c)
+		se.noteIdler(c)
+	}
+}
+
+// noteIdler records a hooked component's elision capability: BarrierIdlers
+// are polled each window, anything else conservatively vetoes elision for
+// the whole run.
+func (se *ShardedEngine) noteIdler(c Component) {
+	if b, ok := c.(BarrierIdler); ok {
+		se.idlers = append(se.idlers, b)
+	} else {
+		se.hookVeto = true
 	}
 }
 
@@ -261,6 +324,21 @@ func (se *ShardedEngine) SetBarrier(fn func(at Tick)) { se.barrier = fn }
 // event counts. Placement is pure scheduling — results are byte-identical
 // under every policy.
 func (se *ShardedEngine) SetPlacement(p PlacementPolicy) { se.policy = p }
+
+// SetAffinityPlacement toggles traffic-affinity packing in the dynamic
+// placement (default on): when enabled, the per-window plan co-locates
+// chatty group pairs along the measured envelope-count EMA subject to the
+// cost-balance bound, falling back to weight-only LPT while no edges have
+// been observed. Pure scheduling — results are byte-identical either way.
+// Must be called before the first Run.
+func (se *ShardedEngine) SetAffinityPlacement(on bool) { se.affinity = on }
+
+// SetBarrierIdle declares when the SetBarrier hook would be a no-op: fn
+// reports true while skipping the barrier hook observes and changes
+// nothing. Installing a barrier without an idle predicate disables
+// empty-window elision entirely (the engine cannot prove the hook is safe
+// to skip).
+func (se *ShardedEngine) SetBarrierIdle(fn func() bool) { se.barrierIdleFn = fn }
 
 // NewPort allocates a global port id. Ports identify sending links; the
 // merge at each barrier orders messages by (deliverAt, port, seq), so port
@@ -343,11 +421,28 @@ func (se *ShardedEngine) exchange() {
 	}
 	for i := range se.groups {
 		o := &se.groups[i].out
+		src := int32(i)
 		for j := range o.msgs {
 			se.gather = append(se.gather, o.msgs[j])
 			se.merged = append(se.merged, len(se.gather)-1)
-			se.gatherSrc = append(se.gatherSrc, int32(i))
-			se.inCount[o.msgs[j].dstGroup]++
+			se.gatherSrc = append(se.gatherSrc, src)
+			dst := o.msgs[j].dstGroup
+			se.inCount[dst]++
+			se.envCount++
+			if se.curWorker[src] != se.curWorker[dst] {
+				se.crossCount++
+			}
+			if se.aff != nil && src != dst {
+				a, b := src, dst
+				if a > b {
+					a, b = b, a
+				}
+				k := int(a)*len(se.groups) + int(b)
+				if se.affDelta[k] == 0 {
+					se.affTouched = append(se.affTouched, k)
+				}
+				se.affDelta[k]++
+			}
 		}
 	}
 	sort.Sort(mergeSorter{se})
@@ -367,6 +462,107 @@ func (se *ShardedEngine) exchange() {
 		se.groups[i].out.msgs = se.groups[i].out.msgs[:0]
 		se.groups[i].out.arena = se.groups[i].out.arena[:0]
 	}
+	if se.aff != nil {
+		se.updateAffinity()
+	}
+}
+
+// updateAffinity folds the window's staged pair counts into the affinity
+// EMA (same 0.75/0.25 blend as the cost EMA) and prunes pairs that decayed
+// below affPrune, keeping the live-pair list compact. The live-pair order is
+// a function of message history alone — and the packer fully re-sorts edges
+// anyway — so the resulting plans are deterministic.
+func (se *ShardedEngine) updateAffinity() {
+	w := 0
+	for _, k := range se.affPairs {
+		v := 0.75*se.aff[k] + 0.25*se.affDelta[k]
+		se.affDelta[k] = 0
+		if v < affPrune {
+			se.aff[k] = 0
+			se.affIn[k] = false
+			continue
+		}
+		se.aff[k] = v
+		se.affPairs[w] = k
+		w++
+	}
+	se.affPairs = se.affPairs[:w]
+	for _, k := range se.affTouched {
+		d := se.affDelta[k]
+		if d == 0 {
+			continue // already live: folded by the decay pass above
+		}
+		se.affDelta[k] = 0
+		se.aff[k] = 0.25 * d
+		se.affIn[k] = true
+		se.affPairs = append(se.affPairs, k)
+	}
+	se.affTouched = se.affTouched[:0]
+}
+
+// SchedStats is the scheduling-quality report of one run: how many barrier
+// windows actually ran vs. were elided, how many envelopes crossed a shard
+// boundary, and how evenly fired events spread across workers. All of it is
+// deterministic for a fixed (config, workers, placement) — so it measures
+// placement quality even where wall-clock is noise — but it is NOT
+// shard-count-invariant: result-invariance comparisons must zero it.
+type SchedStats struct {
+	// Workers is the configured worker bound.
+	Workers int
+	// WindowsRun / WindowsElided partition the conservative windows the run
+	// advanced through: elided windows skipped the whole barrier sequence.
+	WindowsRun    int64
+	WindowsElided int64
+	// Envelopes counts every cross-group mailbox message merged;
+	// CrossShardEnvelopes the subset whose source and destination groups were
+	// planned onto different workers — the hop count placement minimizes.
+	Envelopes           int64
+	CrossShardEnvelopes int64
+	// WorkerFiredShare is each worker's share of all fired events (sums to 1
+	// when any event fired) — the load-balance view.
+	WorkerFiredShare []float64
+}
+
+// SchedStats reports the run's scheduling-quality counters. Call after Run;
+// it allocates (once) and never mutates engine state.
+func (se *ShardedEngine) SchedStats() SchedStats {
+	st := SchedStats{
+		Workers:             se.workers,
+		WindowsRun:          se.windowsRun,
+		WindowsElided:       se.windowsElided,
+		Envelopes:           se.envCount,
+		CrossShardEnvelopes: se.crossCount,
+		WorkerFiredShare:    make([]float64, se.workers),
+	}
+	totals := make([]uint64, se.workers)
+	switch {
+	case se.workers == 1:
+		for g := range se.groups {
+			totals[0] += se.groups[g].eng.Fired()
+		}
+	case se.placed != nil:
+		for g := range se.groups {
+			totals[se.placed[g]] += se.groups[g].eng.Fired()
+		}
+	case se.curWorker != nil:
+		// Dynamic placement: windows already refined are attributed in
+		// workerFired; the tail since the last refinement goes to each
+		// group's current worker.
+		copy(totals, se.workerFired)
+		for g := range se.groups {
+			totals[se.curWorker[g]] += se.groups[g].eng.Fired() - se.prevFired[g]
+		}
+	}
+	var sum uint64
+	for _, t := range totals {
+		sum += t
+	}
+	if sum > 0 {
+		for w, t := range totals {
+			st.WorkerFiredShare[w] = float64(t) / float64(sum)
+		}
+	}
+	return st
 }
 
 // PendingMessages reports staged-but-undelivered messages (outboxes plus
@@ -473,6 +669,26 @@ func (se *ShardedEngine) ensureScratch() {
 			}
 		}
 	}
+	se.curWorker = make([]int32, n)
+	if se.placed != nil {
+		copy(se.curWorker, se.placed)
+	}
+	se.workerFired = make([]uint64, se.workers)
+	if se.affinity && se.workers > 1 && se.placed == nil && n <= affMaxGroups {
+		se.aff = make([]float64, n*n)
+		se.affDelta = make([]float64, n*n)
+		se.affIn = make([]bool, n*n)
+		se.affPairs = se.affPairs[:0]
+		se.affTouched = se.affTouched[:0]
+		se.parentSc = make([]int32, n)
+		se.cwSc = make([]float64, n)
+		se.rootsSc = make([]int32, n)
+		se.groupPos = make([]int32, n)
+		se.posStamp = make([]uint32, n)
+		se.posStampGen = 0
+	} else {
+		se.aff = nil
+	}
 }
 
 // buildPlan partitions the window's active groups across workers: a static
@@ -494,10 +710,53 @@ func (se *ShardedEngine) buildPlan() {
 	for _, g := range se.active {
 		se.activeW = append(se.activeW, se.cost[g])
 	}
-	placeLPT(se.activeW, se.orderSc[:k], se.loadSc, se.planned[:k])
-	for i, g := range se.active {
-		se.plan[se.planned[i]] = append(se.plan[se.planned[i]], g)
+	if !se.planAffinity(k) {
+		placeLPT(se.activeW, se.orderSc[:k], se.loadSc, se.planned[:k])
 	}
+	for i, g := range se.active {
+		w := se.planned[i]
+		se.plan[w] = append(se.plan[w], g)
+		se.curWorker[g] = w
+	}
+}
+
+// planAffinity fills planned[:k] with the traffic-affinity assignment of the
+// active groups when the affinity matrix is live and has edges between them;
+// it reports false (leaving planned untouched) when weight-only LPT should
+// run instead. Edges are projected onto active-local indices via an
+// epoch-stamped position map, then packed by placeAffinity — allocation-free
+// past the first window at each size.
+func (se *ShardedEngine) planAffinity(k int) bool {
+	if se.aff == nil || len(se.affPairs) == 0 || k < 2 {
+		return false
+	}
+	se.posStampGen++
+	if se.posStampGen == 0 {
+		for i := range se.posStamp {
+			se.posStamp[i] = 0
+		}
+		se.posStampGen = 1
+	}
+	for i, g := range se.active {
+		se.posStamp[g] = se.posStampGen
+		se.groupPos[g] = int32(i)
+	}
+	se.edgeSc = se.edgeSc[:0]
+	n := len(se.groups)
+	for _, p := range se.affPairs {
+		a, b := int32(p/n), int32(p%n)
+		if se.posStamp[a] != se.posStampGen || se.posStamp[b] != se.posStampGen {
+			continue
+		}
+		se.edgeSc = append(se.edgeSc, AffinityEdge{A: se.groupPos[a], B: se.groupPos[b], W: se.aff[p]})
+	}
+	if len(se.edgeSc) == 0 {
+		return false
+	}
+	sortAffinityEdges(se.edgeSc)
+	placeAffinity(se.activeW, se.edgeSc, se.workers,
+		se.parentSc[:k], se.cwSc[:k], se.loadSc, se.rootsSc[:k], se.planned[:k])
+	return true
 }
 
 // runWindow executes the active groups up to deadline. With one active
@@ -551,10 +810,56 @@ func (se *ShardedEngine) refineCosts() {
 	}
 	for g := range se.groups {
 		f := se.groups[g].eng.Fired()
-		delta := float64(f - se.prevFired[g])
+		delta := f - se.prevFired[g]
 		se.prevFired[g] = f
-		se.cost[g] = 0.75*se.cost[g] + 0.25*delta
+		se.workerFired[se.curWorker[g]] += delta
+		se.cost[g] = 0.75*se.cost[g] + 0.25*float64(delta)
 	}
+}
+
+// stagedCount tallies messages staged in every outbox — the elision gate's
+// hard evidence (O(groups), no synchronization: workers have joined).
+func (se *ShardedEngine) stagedCount() int {
+	n := 0
+	for i := range se.groups {
+		n += len(se.groups[i].out.msgs)
+	}
+	return n
+}
+
+// canElide reports whether skipping the barrier sequence would be
+// unobservable given an empty exchange: no hooked component lacking a
+// BarrierIdle predicate, every idler idle, and the installed barrier (if
+// any) declaring itself idle.
+func (se *ShardedEngine) canElide() bool {
+	if se.hookVeto {
+		return false
+	}
+	if se.barrier != nil && se.barrierIdleFn == nil {
+		return false
+	}
+	for _, b := range se.idlers {
+		if !b.BarrierIdle() {
+			return false
+		}
+	}
+	if se.barrierIdleFn != nil && !se.barrierIdleFn() {
+		return false
+	}
+	return true
+}
+
+// elideWindow skips the barrier sequence (exchange, WindowEnd hooks,
+// barrier, cost refinement) for a window that staged nothing. It re-verifies
+// every outbox is empty and panics with *ElisionError otherwise — eliding a
+// window with a pending cross-shard envelope would silently drop it.
+func (se *ShardedEngine) elideWindow() {
+	for i := range se.groups {
+		if n := len(se.groups[i].out.msgs); n > 0 {
+			panic(&ElisionError{Group: int32(i), Staged: n})
+		}
+	}
+	se.windowsElided++
 }
 
 // Run advances windows until every group drains and no messages remain, and
@@ -611,13 +916,18 @@ func (se *ShardedEngine) Run() Tick {
 			}
 		}
 		se.runWindow(winEnd-1, multi)
-		se.refineCosts()
-		se.exchange()
-		for _, c := range se.hooked {
-			c.WindowEnd(winEnd)
-		}
-		if se.barrier != nil {
-			se.barrier(winEnd)
+		if se.stagedCount() == 0 && se.canElide() {
+			se.elideWindow()
+		} else {
+			se.windowsRun++
+			se.refineCosts()
+			se.exchange()
+			for _, c := range se.hooked {
+				c.WindowEnd(winEnd)
+			}
+			if se.barrier != nil {
+				se.barrier(winEnd)
+			}
 		}
 		if winEnd > end {
 			end = winEnd

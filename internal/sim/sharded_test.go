@@ -280,6 +280,205 @@ func TestMailboxLookaheadViolationPanics(t *testing.T) {
 	se.Run()
 }
 
+// TestAffinityPackerCoLocatesChattyPairs drives the traffic-affinity packer
+// directly: with equal weights and one dominant edge, the chatty pair must
+// share a worker; a chain exceeding the cost-balance bound must split.
+func TestAffinityPackerCoLocatesChattyPairs(t *testing.T) {
+	weights := []float64{1, 1, 1, 1}
+	edges := []AffinityEdge{{A: 0, B: 3, W: 100}, {A: 1, B: 2, W: 1}}
+	out := PlaceGroupsWithAffinity(weights, edges, 2)
+	if out[0] != out[3] {
+		t.Errorf("chatty pair (0,3) split across workers %d/%d", out[0], out[3])
+	}
+	if out[1] != out[2] {
+		t.Errorf("secondary pair (1,2) split across workers %d/%d", out[1], out[2])
+	}
+	if out[0] == out[1] {
+		t.Errorf("both pairs on worker %d: balance bound ignored", out[0])
+	}
+
+	// A merge that would blow the cost-balance bound (total/workers * slack)
+	// must be refused even for the heaviest edge.
+	heavy := []float64{10, 10, 1, 1}
+	out = PlaceGroupsWithAffinity(heavy, []AffinityEdge{{A: 0, B: 1, W: 1000}}, 2)
+	if out[0] == out[1] {
+		t.Errorf("over-bound pair co-located: 20 on one worker of a 22-total 2-worker split")
+	}
+}
+
+// affinityWorkload runs a 6-group workload with one deliberately chatty pair
+// (groups 0 and 5 exchange 10x the traffic of everything else) on 2 workers
+// and returns the final SchedStats plus the per-endpoint delivery logs.
+func affinityWorkload(affinity bool) (SchedStats, [][]pingRecord) {
+	const eps = 6
+	se := NewSharded(2, 50)
+	log := make([][]pingRecord, eps)
+	ports := make([]int32, eps)
+	for e := 0; e < eps; e++ {
+		se.NewGroup(1)
+		ports[e] = se.NewPort()
+	}
+	se.SetAffinityPlacement(affinity)
+	se.SetDeliver(func(env Envelope) {
+		eng := se.Group(int(env.Endpoint))
+		log[env.Endpoint] = append(log[env.Endpoint],
+			pingRecord{at: env.At, ep: env.Endpoint, u: env.P.U0, cnt: env.P.U1})
+		if env.P.U1 >= 200 {
+			return
+		}
+		src := env.Endpoint
+		var dst int32
+		if src == 0 || src == 5 {
+			dst = 5 - src // the chatty pair bounces between itself
+		} else {
+			dst = (src + 1) % eps
+		}
+		cnt := env.P.U1 + 1
+		eng.At(eng.Now()+3, func() {
+			se.Outbox(int(src)).Post(ports[src], dst, dst,
+				eng.Now()+60, Payload{U0: src, U1: cnt}, nil)
+		})
+	})
+	for e := int32(0); e < eps; e++ {
+		e := e
+		eng := se.Group(int(e))
+		dst := (e + 1) % eps
+		if e == 0 {
+			dst = 5
+		}
+		eng.At(Tick(e), func() {
+			se.Outbox(int(e)).Post(ports[e], dst, dst,
+				eng.Now()+60, Payload{U0: e, U1: 0}, nil)
+		})
+	}
+	se.Run()
+	return se.SchedStats(), log
+}
+
+// TestAffinityPlacementCutsCrossShardTraffic compares the measured-affinity
+// packer against weight-only LPT on a workload with one dominant group pair:
+// the affinity run must observe the same per-endpoint message sequences
+// (placement is pure scheduling) while routing strictly fewer envelopes
+// across workers.
+func TestAffinityPlacementCutsCrossShardTraffic(t *testing.T) {
+	weight, baseLog := affinityWorkload(false)
+	aff, affLog := affinityWorkload(true)
+	for ep := range baseLog {
+		if len(affLog[ep]) != len(baseLog[ep]) {
+			t.Fatalf("endpoint %d saw %d messages under affinity, %d under weight-only",
+				ep, len(affLog[ep]), len(baseLog[ep]))
+		}
+		for i := range baseLog[ep] {
+			if affLog[ep][i] != baseLog[ep][i] {
+				t.Fatalf("endpoint %d message %d diverged: %+v vs %+v",
+					ep, i, affLog[ep][i], baseLog[ep][i])
+			}
+		}
+	}
+	if aff.Envelopes != weight.Envelopes {
+		t.Fatalf("envelope totals differ: affinity %d, weight-only %d", aff.Envelopes, weight.Envelopes)
+	}
+	if aff.CrossShardEnvelopes >= weight.CrossShardEnvelopes {
+		t.Errorf("affinity cross-shard envelopes %d not below weight-only %d (of %d total)",
+			aff.CrossShardEnvelopes, weight.CrossShardEnvelopes, weight.Envelopes)
+	}
+}
+
+// TestBarrierElisionSkipsEmptyWindows pins the empty-barrier fast path: a
+// burst of cross-group messages followed by a long message-free local tail
+// must elide the silent windows' barriers — and an installed barrier hook
+// with an idle predicate must not fire during them.
+func TestBarrierElisionSkipsEmptyWindows(t *testing.T) {
+	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
+	p0 := se.NewPort()
+	idle := true
+	var barriers int
+	se.SetDeliver(func(env Envelope) {
+		// A message-free tail: 40 local events spaced one window apart.
+		eng := se.Group(int(env.Endpoint))
+		var tick func()
+		n := 0
+		tick = func() {
+			if n++; n < 40 {
+				eng.At(eng.Now()+60, tick)
+			}
+		}
+		eng.At(eng.Now()+60, tick)
+	})
+	se.SetBarrier(func(Tick) { barriers++ })
+	se.SetBarrierIdle(func() bool { return idle })
+	se.Group(0).At(0, func() {
+		se.Outbox(0).Post(p0, 1, 1, 60, Payload{}, nil)
+	})
+	se.Run()
+	s := se.SchedStats()
+	if s.WindowsElided == 0 {
+		t.Fatalf("no windows elided across a message-free tail: %+v", s)
+	}
+	if got := int64(barriers); got != s.WindowsRun {
+		t.Errorf("barrier fired %d times, want once per non-elided window (%d)", barriers, s.WindowsRun)
+	}
+	if s.Envelopes != 1 {
+		t.Errorf("envelope count %d, want 1", s.Envelopes)
+	}
+}
+
+// TestBarrierNotIdleDisablesElision: a barrier whose idle predicate reports
+// false must fire every window — elision never skips live bookkeeping.
+func TestBarrierNotIdleDisablesElision(t *testing.T) {
+	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
+	p0 := se.NewPort()
+	se.SetDeliver(func(env Envelope) {
+		eng := se.Group(int(env.Endpoint))
+		n := 0
+		var tick func()
+		tick = func() {
+			if n++; n < 10 {
+				eng.At(eng.Now()+60, tick)
+			}
+		}
+		eng.At(eng.Now()+60, tick)
+	})
+	se.SetBarrier(func(Tick) {})
+	se.SetBarrierIdle(func() bool { return false })
+	se.Group(0).At(0, func() {
+		se.Outbox(0).Post(p0, 1, 1, 60, Payload{}, nil)
+	})
+	se.Run()
+	if s := se.SchedStats(); s.WindowsElided != 0 {
+		t.Errorf("%d windows elided under a never-idle barrier", s.WindowsElided)
+	}
+}
+
+// TestElisionGateViolationPanics pins the elision safety check: eliding a
+// window while an outbox still stages a message would silently drop it, so
+// elideWindow must panic with a structured *ElisionError instead.
+func TestElisionGateViolationPanics(t *testing.T) {
+	se := NewSharded(2, 50)
+	se.NewGroup(1)
+	se.NewGroup(1)
+	port := se.NewPort()
+	se.SetDeliver(func(Envelope) {})
+	se.ensureScratch()
+	se.curEnd = 49
+	se.Outbox(0).Post(port, 1, 1, 60, Payload{}, nil)
+	defer func() {
+		p := recover()
+		ee, ok := p.(*ElisionError)
+		if !ok {
+			t.Fatalf("elideWindow with a staged message panicked with %v, want *ElisionError", p)
+		}
+		if ee.Group != 0 || ee.Staged != 1 {
+			t.Errorf("ElisionError = %+v, want group 0 with 1 staged message", ee)
+		}
+	}()
+	se.elideWindow()
+}
+
 // TestBarrierHookTimes verifies the barrier fires once per window with
 // increasing window-end times.
 func TestBarrierHookTimes(t *testing.T) {

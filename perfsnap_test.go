@@ -1,6 +1,6 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_7.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_8.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
 // path allocation behavior, sharded-kernel scaling, placement-matrix
 // wall-clocks, figure wall-clocks, result-cache memoization wall-clocks,
@@ -9,7 +9,7 @@ package pifsrec
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_7.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_8.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
@@ -70,6 +70,12 @@ type benchSnapshot struct {
 	// and a worst-case one-worker pile-up; byte-identical tables, pure
 	// scheduling ratios.
 	PlacementWallMs map[string]float64 `json:"placement_wall_ms"`
+	// ShardSched is the scheduling-quality matrix on the multi-switch
+	// affinity-gate configuration (2 hosts, 2 switches, 8 devices): per
+	// "shards=N/MODE" cell, the cross-shard envelope count (mailbox hops
+	// between workers), total envelopes, windows run/elided, and wall-clock.
+	// Results are byte-identical across every cell; only scheduling differs.
+	ShardSched map[string]schedCell `json:"shard_sched"`
 	// NumasimParityWorstPct is the worst |event-analytic|/analytic AppGBs
 	// delta across the full numasim seed sweep, in percent.
 	NumasimParityWorstPct float64 `json:"numasim_parity_worst_pct"`
@@ -84,6 +90,14 @@ type benchSnapshot struct {
 		HashNsPerConfig  float64            `json:"hash_ns_per_config"`
 		StoreRoundTripNs float64            `json:"store_roundtrip_ns_per_entry"`
 	} `json:"memo"`
+}
+
+type schedCell struct {
+	CrossShardEnvelopes int64   `json:"cross_shard_envelopes"`
+	Envelopes           int64   `json:"envelopes"`
+	WindowsRun          int64   `json:"windows_run"`
+	WindowsElided       int64   `json:"windows_elided"`
+	WallMs              float64 `json:"wall_ms"`
 }
 
 func toLine(r testing.BenchmarkResult) benchLine {
@@ -111,11 +125,11 @@ func cpuModel() string {
 
 func TestWriteBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_7.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_8.json")
 	}
 
 	var snap benchSnapshot
-	snap.PR = 7
+	snap.PR = 8
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -236,6 +250,43 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		snap.PlacementWallMs[pl.name] = float64(r.NsPerOp()) / 1e6
 	}
 
+	// Scheduling-quality matrix: cross-shard hop counts and elision stats on
+	// the multi-switch affinity-gate configuration, per shard count and
+	// placement flavor.
+	snap.ShardSched = map[string]schedCell{}
+	gateTr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 2, BatchSize: 4, BagSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, mode := range []string{"affinity", "weight"} {
+			cfg := engine.Config{Scheme: engine.PIFSRec, Model: m, Trace: gateTr,
+				Seed: 3, Switches: 2, Devices: 8, Hosts: 2, HostParallelism: 8,
+				Shards: n, PlacementMode: mode}
+			res, err := engine.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			snap.ShardSched[fmt.Sprintf("shards=%d/%s", n, mode)] = schedCell{
+				CrossShardEnvelopes: res.Sched.CrossShardEnvelopes,
+				Envelopes:           res.Sched.Envelopes,
+				WindowsRun:          res.Sched.WindowsRun,
+				WindowsElided:       res.Sched.WindowsElided,
+				WallMs:              float64(br.NsPerOp()) / 1e6,
+			}
+		}
+	}
+
 	// Numasim model parity (the gate behind pifsbench -model) — the same
 	// figure the numasim-parity experiment note prints.
 	worst, err := numasim.WorstSeedParityPct(numasim.Genoa())
@@ -326,9 +377,9 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_7.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_8.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_7.json: %.1fM events/sec, warm fig13a %.1fx over cold\n",
+	fmt.Printf("wrote BENCH_8.json: %.1fM events/sec, warm fig13a %.1fx over cold\n",
 		snap.EventKernel.EventsPerSec/1e6, snap.Memo.WarmSpeedup["fig13a"])
 }
