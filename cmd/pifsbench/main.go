@@ -4,6 +4,7 @@
 //
 //	pifsbench fig12a                 # one experiment
 //	pifsbench -experiment fig12a     # same, flag form
+//	pifsbench latency-sweep          # open-loop tail-latency matrix
 //	pifsbench                        # everything (EXPERIMENTS.md source)
 //	pifsbench -list                  # available experiment ids
 package main

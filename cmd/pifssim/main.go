@@ -7,6 +7,7 @@
 //
 //	pifssim -scheme PIFS-Rec -model RMC4 -trace Meta -devices 8
 //	pifssim -scheme Pond -model RMC2 -tracefile trace.bin
+//	pifssim -scheme PIFS-Rec -scenario load.json     # open-loop tail latency
 //	pifssim -experiment fig13a -cache-dir ~/.cache/pifsrec
 //	pifssim -serve :8080 -cache-dir ~/.cache/pifsrec
 package main
@@ -38,6 +39,7 @@ func main() {
 	placement := flag.String("placement", "affinity", "dynamic placement flavor: affinity (traffic-aware co-location) or weight (weight-only LPT); pure scheduling, results are identical either way")
 	splitBanks := flag.Bool("split-banks", false, "run every DRAM channel bank on its own placement group (models per-bank hop latency — a different machine, so results differ from the fused default)")
 	faults := flag.String("faults", "", "fault-injection plan (JSON file; see internal/fault)")
+	scenarioFile := flag.String("scenario", "", "open-loop arrival scenario (JSON file; see internal/scenario) — adds tail-latency and goodput-under-SLO reporting")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (created if missing; sweeps re-simulate only configs the cache has never seen)")
 	experiment := flag.String("experiment", "", "run one named experiment sweep instead of a single config (see pifsbench -list)")
 	serveAddr := flag.String("serve", "", "listen address (e.g. :8080) for the long-lived sweep service")
@@ -156,6 +158,24 @@ func main() {
 		}
 	}
 
+	// The scenario spec is validated up front like the fault plan: a bad
+	// kind, rate, or swing is a usage error before any simulation state is
+	// assembled (a missing arrival-trace file still surfaces from Simulate,
+	// which is where the file is first read).
+	var sc *pifsrec.ScenarioSpec
+	if *scenarioFile != "" {
+		var err error
+		sc, err = pifsrec.LoadScenario(*scenarioFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifssim:", err)
+			os.Exit(2)
+		}
+		if err := sc.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "pifssim: -scenario %s: %v\n", *scenarioFile, err)
+			os.Exit(2)
+		}
+	}
+
 	var tr *pifsrec.Trace
 	var err error
 	if *traceFile != "" {
@@ -180,6 +200,7 @@ func main() {
 		SplitBanks:    *splitBanks,
 		BufferBytes:   *buffer,
 		Faults:        plan,
+		Scenario:      sc,
 		Seed:          1,
 	})
 	if err != nil {
@@ -203,6 +224,18 @@ func main() {
 		s.Workers, *placement, s.Envelopes, s.CrossShardEnvelopes, crossPct)
 	fmt.Printf("sched: %d windows run, %d elided; fired share %s\n",
 		s.WindowsRun, s.WindowsElided, firedShare(s.WorkerFiredShare))
+	if sc != nil && !sc.Empty() {
+		l := res.Latency
+		fmt.Printf("latency: %d requests; mean %.0f ns; p50 %d, p95 %d, p99 %d, p999 %d, max %d ns\n",
+			l.Requests, l.MeanNS, l.P50NS, l.P95NS, l.P99NS, l.P999NS, l.MaxNS)
+		if l.SLONS > 0 {
+			fmt.Printf("latency: offered %.0f qps, goodput %.0f qps; %d/%d within %d ns SLO\n",
+				l.OfferedQPS, l.GoodputQPS, l.WithinSLO, l.Requests, l.SLONS)
+		} else {
+			fmt.Printf("latency: offered %.0f qps, goodput %.0f qps (no SLO configured)\n",
+				l.OfferedQPS, l.GoodputQPS)
+		}
+	}
 	if plan != nil {
 		fmt.Printf("faults: %d retries, %d timeouts, %d aborted rows, %d aborted bags, %d rerouted rows\n",
 			res.FaultRetries, res.FaultTimeouts, res.AbortedRows, res.AbortedBags, res.ReroutedRows)

@@ -11,6 +11,7 @@ import (
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/fault"
 	"pifsrec/internal/osb"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 )
@@ -134,6 +135,13 @@ type Config struct {
 	// topology and arms the switches' timeout/retry machinery.
 	Faults *fault.Plan
 
+	// Scenario is an optional open-loop arrival process (see
+	// internal/scenario). Nil — or an empty spec — runs the byte-identical
+	// closed loop; a non-empty spec assigns every bag a deterministic
+	// arrival time, injects it as a calendar event on its host, and tracks
+	// arrival→completion latency into Result.Latency.
+	Scenario *scenario.Spec
+
 	Seed uint64
 }
 
@@ -243,6 +251,21 @@ func (c *Config) fillDefaults() error {
 			return err
 		}
 	}
+	if c.Scenario != nil {
+		if c.Scenario.Empty() {
+			// An empty spec IS the no-scenario spec; drop it so the engine
+			// runs the byte-identical closed loop (and hashes identically).
+			c.Scenario = nil
+		} else {
+			// Replace the pointer with a normalized copy instead of mutating
+			// the caller's spec in place.
+			norm, err := c.Scenario.Normalized()
+			if err != nil {
+				return err
+			}
+			c.Scenario = &norm
+		}
+	}
 	return nil
 }
 
@@ -283,6 +306,13 @@ type Result struct {
 	AbortedBags       int     // bags that completed degraded
 	DegradedFraction  float64 // share of the run inside any fault window
 	GoodputBagsPerSec float64 // non-degraded bags per simulated second
+
+	// Latency is the open-loop tail-latency report (zero without a
+	// scenario). Unlike Sched it IS shard-count- and placement-invariant —
+	// arrival times are precomputed from the spec and per-host sketches
+	// merge in host order with an exactly-associative Merge — so it is
+	// cached, served, and compared like any other result field.
+	Latency scenario.LatencyReport
 
 	// Sched is the run's scheduling-quality report (cross-shard envelopes,
 	// windows run/elided, per-worker fired share). Deterministic for a fixed

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"pifsrec/internal/scenario"
 )
 
 // configEncodingVersion is the canonical-encoding layout version. Bump it —
@@ -89,6 +91,33 @@ func (c Config) CanonicalBinary() ([]byte, error) {
 	}
 
 	b = appendU64(b, norm.Seed)
+
+	// Scenario: appended ONLY when present, after every v2 field, so a
+	// non-scenario config's encoding stays byte-for-byte what v2 produced —
+	// existing cache entries for closed-loop jobs keep their keys. The
+	// section cannot alias a scenario-free encoding: those always end
+	// exactly at the fixed-width Seed, while this one continues with a
+	// length-framed marker. Normalization already dropped empty specs and
+	// zeroed kind-irrelevant fields, and a trace-driven scenario contributes
+	// its arrival file's content hash, not the path.
+	if norm.Scenario != nil {
+		sc := norm.Scenario
+		b = appendStr(b, "SCENARIO")
+		b = appendStr(b, string(sc.Kind))
+		b = appendF64(b, sc.QPS)
+		b = appendF64(b, sc.Swing)
+		b = appendI64(b, sc.PeriodNS)
+		b = appendI64(b, sc.SLONS)
+		b = appendU64(b, sc.Seed)
+		b = appendBool(b, sc.Kind == scenario.Trace)
+		if sc.Kind == scenario.Trace {
+			th, err := scenario.HashArrivalTrace(sc.ArrivalTracePath)
+			if err != nil {
+				return nil, fmt.Errorf("engine: hashing arrival trace: %w", err)
+			}
+			b = append(b, th[:]...)
+		}
+	}
 	return b, nil
 }
 

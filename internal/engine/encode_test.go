@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"pifsrec/internal/fault"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 )
@@ -133,6 +136,117 @@ func TestCanonicalBinarySensitivity(t *testing.T) {
 	bigger.Trace = testTrace(t, trace.MetaLike, bigger.Model, 2)
 	if bytes.Equal(want, encodeConfig(t, bigger)) {
 		t.Error("different model shape (with matching trace) did not change the canonical encoding")
+	}
+}
+
+// TestCanonicalBinaryScenarioSection pins the scenario trailer's cache
+// semantics: absence is bit-identical to the pre-scenario layout (so every
+// existing memo entry keeps its key — the golden test above covers the same
+// bytes), presence appends after the fixed v2 fields, every scenario knob is
+// identity-bearing, and equivalent specs (normalized or not, empty or nil)
+// encode identically.
+func TestCanonicalBinaryScenarioSection(t *testing.T) {
+	base := baseEncodeConfig(t)
+	noScenario := encodeConfig(t, base)
+
+	empty := base
+	empty.Scenario = &scenario.Spec{}
+	if !bytes.Equal(noScenario, encodeConfig(t, empty)) {
+		t.Error("empty scenario spec changed the encoding; it must equal nil bit for bit")
+	}
+
+	withSc := base
+	withSc.Scenario = &scenario.Spec{Kind: scenario.Poisson, QPS: 1e6, SLONS: 50_000, Seed: 9}
+	scEnc := encodeConfig(t, withSc)
+	if !bytes.HasPrefix(scEnc, noScenario) {
+		t.Error("scenario section must append after the scenario-free encoding, not rewrite it")
+	}
+
+	// The spec's arguments are all identity-bearing.
+	mutations := map[string]func(*scenario.Spec){
+		"Kind":  func(s *scenario.Spec) { s.Kind = scenario.Diurnal },
+		"QPS":   func(s *scenario.Spec) { s.QPS = 2e6 },
+		"SLONS": func(s *scenario.Spec) { s.SLONS = 60_000 },
+		"Seed":  func(s *scenario.Spec) { s.Seed = 10 },
+	}
+	for name, mutate := range mutations {
+		cfg := withSc
+		sp := *withSc.Scenario
+		mutate(&sp)
+		cfg.Scenario = &sp
+		if bytes.Equal(scEnc, encodeConfig(t, cfg)) {
+			t.Errorf("mutating scenario %s did not change the canonical encoding", name)
+		}
+	}
+
+	// Normalization: an explicitly-defaulted diurnal spec and its implicit
+	// twin encode identically; swing and period are identity-bearing.
+	di := base
+	di.Scenario = &scenario.Spec{Kind: scenario.Diurnal, QPS: 1e6}
+	diExplicit := base
+	diExplicit.Scenario = &scenario.Spec{Kind: scenario.Diurnal, QPS: 1e6,
+		Swing: scenario.DefaultSwing, PeriodNS: scenario.DefaultPeriodNS}
+	diEnc := encodeConfig(t, di)
+	if !bytes.Equal(diEnc, encodeConfig(t, diExplicit)) {
+		t.Error("implicit and explicit diurnal defaults encode differently")
+	}
+	diSwing := base
+	diSwing.Scenario = &scenario.Spec{Kind: scenario.Diurnal, QPS: 1e6, Swing: 0.9}
+	if bytes.Equal(diEnc, encodeConfig(t, diSwing)) {
+		t.Error("diurnal swing did not change the canonical encoding")
+	}
+	diPeriod := base
+	diPeriod.Scenario = &scenario.Spec{Kind: scenario.Diurnal, QPS: 1e6, PeriodNS: 77_000}
+	if bytes.Equal(diEnc, encodeConfig(t, diPeriod)) {
+		t.Error("diurnal period did not change the canonical encoding")
+	}
+}
+
+// TestCanonicalBinaryScenarioTraceHashesContent: a trace-driven scenario's
+// identity is the arrival file's bytes, not its path — renaming hits the
+// same cache entries, editing misses.
+func TestCanonicalBinaryScenarioTraceHashesContent(t *testing.T) {
+	base := baseEncodeConfig(t)
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.trc")
+	if err := base.Trace.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Scenario = &scenario.Spec{Kind: scenario.Trace, QPS: 1e6, ArrivalTracePath: p1}
+	enc1 := encodeConfig(t, cfg)
+
+	p2 := filepath.Join(dir, "renamed.trc")
+	data, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	moved := base
+	moved.Scenario = &scenario.Spec{Kind: scenario.Trace, QPS: 1e6, ArrivalTracePath: p2}
+	if !bytes.Equal(enc1, encodeConfig(t, moved)) {
+		t.Error("renaming the arrival trace changed the canonical encoding")
+	}
+
+	p3 := filepath.Join(dir, "edited.trc")
+	other := testTrace(t, trace.Zipfian, testModel(), 2)
+	if err := other.Save(p3); err != nil {
+		t.Fatal(err)
+	}
+	edited := base
+	edited.Scenario = &scenario.Spec{Kind: scenario.Trace, QPS: 1e6, ArrivalTracePath: p3}
+	if bytes.Equal(enc1, encodeConfig(t, edited)) {
+		t.Error("different arrival trace content did not change the canonical encoding")
+	}
+
+	missing := base
+	missing.Scenario = &scenario.Spec{Kind: scenario.Trace, QPS: 1e6,
+		ArrivalTracePath: filepath.Join(dir, "missing.trc")}
+	if _, err := missing.CanonicalBinary(); err == nil {
+		t.Error("missing arrival trace produced a canonical encoding instead of an error")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"pifsrec/internal/fault"
 	"pifsrec/internal/osb"
 	"pifsrec/internal/pifs"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/tier"
 	"pifsrec/internal/trace"
@@ -191,11 +192,25 @@ type host struct {
 	recs    [64]bagRec
 	scratch [64]bagScratch
 
+	// Open-loop scenario state (all nil/zero in the closed loop, so the
+	// closed-loop protocol is bit-identical to the pre-scenario engine):
+	// this host's arrival schedule (parallel to bags, nondecreasing),
+	// admitted and dispatched counts into it, the in-flight bags' arrival
+	// times by sumtag, the fixed-memory latency sketch, and the exact
+	// SLO-met count.
+	arrivals   []sim.Tick
+	arrived    int
+	dispatched int
+	arrivalAt  [64]sim.Tick
+	sketch     *scenario.Sketch
+	withinSLO  int64
+
 	// Stored token-event functions (allocated once; see sim.Engine.AtCall).
 	fnExec      func(int32)
 	fnPart      func(int32)
 	fnSnoop     func(int32)
 	fnLocalDone func(int32, sim.Tick)
+	fnArrive    func(int32)
 }
 
 // ComponentGroup returns the host's placement group (sim.Component).
@@ -300,17 +315,29 @@ func (h *host) localDone(tag int32, _ sim.Tick) {
 }
 
 // bagComplete returns the tag, advances the host's progress, and refills the
-// pipeline.
+// pipeline — from the fixed closed loop, or from the open arrival queue
+// when a scenario is active (recording the request's end-to-end latency
+// first, before dispatch can recycle the tag's arrival slot).
 func (h *host) bagComplete(tag uint8, at sim.Tick) {
 	h.outstanding--
 	h.completed++
 	h.bagsDone++
-	if h.recs[tag].aborted {
+	aborted := h.recs[tag].aborted
+	if aborted {
 		h.abortedBags++
 	}
 	h.freeTags = append(h.freeTags, tag)
 	if at > h.finish {
 		h.finish = at
+	}
+	if h.sketch != nil {
+		lat := int64(at - h.arrivalAt[tag])
+		h.sketch.Record(lat)
+		if !aborted && (h.sys.cfg.Scenario.SLONS == 0 || lat <= h.sys.cfg.Scenario.SLONS) {
+			h.withinSLO++
+		}
+		h.dispatchArrived()
+		return
 	}
 	h.pump()
 }
@@ -472,7 +499,26 @@ func build(cfg Config) (*system, error) {
 		hh.fnPart = hh.partDone
 		hh.fnSnoop = func(tag int32) { hh.accumulatePart(1, tag) }
 		hh.fnLocalDone = hh.localDone
+		hh.fnArrive = hh.arrive
 		s.hosts = append(s.hosts, hh)
+	}
+
+	// Open-loop scenario: materialize the deterministic arrival schedule
+	// and stripe it over hosts exactly like the bags (arrival i belongs to
+	// host i mod Hosts), so each host's k-th arrival times its k-th bag.
+	// The schedule is computed once here, before any sharding decision, so
+	// it cannot depend on worker count or placement.
+	if cfg.Scenario != nil {
+		arr, err := cfg.Scenario.Arrivals(len(cfg.Trace.Bags))
+		if err != nil {
+			return nil, err
+		}
+		for i, at := range arr {
+			s.hosts[i%cfg.Hosts].arrivals = append(s.hosts[i%cfg.Hosts].arrivals, at)
+		}
+		for _, h := range s.hosts {
+			h.sketch = &scenario.Sketch{}
+		}
 	}
 
 	// Split-bank mode: every DRAM channel gets its own placement group,
@@ -744,7 +790,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	for _, h := range s.hosts {
-		h.pump()
+		if s.cfg.Scenario != nil {
+			h.startOpenLoop()
+		} else {
+			h.pump()
+		}
 	}
 	if _, err := s.se.RunChecked(); err != nil {
 		return Result{}, err
@@ -773,6 +823,44 @@ func (h *host) pump() {
 		tag := h.freeTags[n-1]
 		h.freeTags = h.freeTags[:n-1]
 		h.next++
+		h.outstanding++
+		h.sys.runBag(h, bag, tag)
+	}
+}
+
+// startOpenLoop schedules this host's first arrival. Arrivals chain —
+// arrival k schedules k+1 — so the calendar carries at most one pending
+// arrival per host no matter how long the schedule is.
+func (h *host) startOpenLoop() {
+	if len(h.arrivals) > 0 {
+		h.eng.AtCall(h.arrivals[0], h.fnArrive, 0)
+	}
+}
+
+// arrive admits bag k into the open queue at its scheduled time, chains the
+// next arrival, and dispatches as far as the parallelism bound allows. It
+// runs as an ordinary calendar event on this host's group engine, so
+// arrival ordering against message deliveries is the engine's deterministic
+// (tick, seq) order — identical at every shard count and placement.
+func (h *host) arrive(k int32) {
+	h.arrived++
+	if int(k)+1 < len(h.arrivals) {
+		h.eng.AtCall(h.arrivals[k+1], h.fnArrive, k+1)
+	}
+	h.dispatchArrived()
+}
+
+// dispatchArrived starts arrived-but-queued bags in FIFO order up to
+// HostParallelism — the open-loop counterpart of pump. Time spent waiting
+// here is exactly the queueing delay the tail quantiles exist to expose.
+func (h *host) dispatchArrived() {
+	for h.outstanding < h.sys.cfg.HostParallelism && h.dispatched < h.arrived {
+		bag := h.bags[h.dispatched]
+		n := len(h.freeTags)
+		tag := h.freeTags[n-1]
+		h.freeTags = h.freeTags[:n-1]
+		h.arrivalAt[tag] = h.arrivals[h.dispatched]
+		h.dispatched++
 		h.outstanding++
 		h.sys.runBag(h, bag, tag)
 	}
@@ -871,6 +959,20 @@ func (s *system) collect() Result {
 	}
 	if s.faultSched != nil && r.TotalNS > 0 {
 		r.DegradedFraction = float64(s.faultSched.DegradedNS(int64(r.TotalNS))) / float64(r.TotalNS)
+	}
+	// Open-loop latency report: merge the per-host sketches in host id order.
+	// Merge is exactly associative/commutative (binwise add), so the merged
+	// bins — hence the whole report — are byte-identical at every shard
+	// count and placement, unlike Sched below.
+	if s.cfg.Scenario != nil {
+		var merged scenario.Sketch
+		var withinSLO int64
+		for _, h := range s.hosts {
+			merged.Merge(h.sketch)
+			withinSLO += h.withinSLO
+		}
+		r.Latency = scenario.NewReport(&merged, withinSLO, s.cfg.Scenario.SLONS,
+			int64(r.TotalNS), s.cfg.Scenario.QPS)
 	}
 	r.Sched = s.se.SchedStats()
 	return r

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"pifsrec/internal/dlrm"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 )
@@ -145,6 +146,11 @@ func TestPlacementInvariantProperty(t *testing.T) {
 		{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Switches: 2, Devices: 6, Hosts: 3, HostParallelism: 8},
 		{Scheme: Pond, Model: m, Trace: tr, Seed: 3, Hosts: 2, Devices: 4},
 		{Scheme: RecNMP, Model: m, Trace: tr, Seed: 3, Hosts: 2, Devices: 4, EpochBags: 16},
+		// Open-loop injection rides the same contract: the arrival schedule
+		// is computed before any sharding decision, so the latency table in
+		// Result must be as placement-invariant as every other field.
+		{Scheme: PIFSRec, Model: m, Trace: tr, Seed: 3, Switches: 2, Devices: 6, Hosts: 3, HostParallelism: 8,
+			Scenario: &scenario.Spec{Kind: scenario.Poisson, QPS: 5e5, SLONS: 100_000, Seed: 9}},
 	}
 	for ci, cfg := range cases {
 		base, err := Run(cfg)

@@ -239,6 +239,19 @@ func (s *Switch) HandleMsg(env sim.Envelope) {
 		}
 
 	case KindPeerBatch:
+		if now > s.eng.Now() {
+			// A stall window parks the decode stage, and forwarding is decode
+			// work: relaying on arrival would let the unstalled peer's replies
+			// reach Core.Data before this switch's fold cluster — whose
+			// Configuration decode is equally stalled — exists in the ACR.
+			// Redeliver at the window's close; same-tick delivery is FIFO, so
+			// batches crossing a stall keep their arrival order. The reply
+			// then trails the config by construction: it costs at least the
+			// peer's fetchDelay (>= DecodeNS) plus two link traversals.
+			env.At = now
+			s.eng.AtMsg(s, env, env.Addrs)
+			return
+		}
 		peer := int(env.P.U0)
 		s.stats.Forwarded++
 		hasCore := m.net.PeerHasCore[peer]

@@ -938,6 +938,9 @@ func specs() map[string]spec {
 		"ablation-migration":  ablationMigrationSpec(),
 		"dram-queues":         dramQueueDelaySpec(),
 		"fault-sweep":         faultSweepSpec(),
+		"latency-knee":        latencyKneeSpec(),
+		"latency-sweep":       latencySweepSpec(),
+		"max-qps":             maxQPSSpec(),
 		"numasim-parity":      numasimParitySpec(),
 	}
 }

@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"pifsrec/internal/engine"
+	"pifsrec/internal/report"
+	"pifsrec/internal/scenario"
+	"pifsrec/internal/trace"
+)
+
+// latencySeed fixes every open-loop arrival draw in the latency experiments;
+// it is independent of the engine seed so load randomness and system
+// randomness vary separately.
+const latencySeed = 13
+
+// probeLoad is the fraction of closed-loop capacity used for the unloaded
+// probe that measures a scheme's no-queueing tail.
+const probeLoad = 0.25
+
+// sloFactor sets the latency objective from the unloaded probe: a request
+// meets its SLO when it finishes within sloFactor x the unloaded p99. The
+// paper's SLO discussions are relative ("tail within a small multiple of
+// service latency"), and deriving the target from a measured probe keeps the
+// experiments meaningful at any model scale.
+const sloFactor = 2
+
+// kneeLoads is the offered-load grid, as fractions of each scheme's own
+// closed-loop capacity, spanning both sides of the knee.
+var kneeLoads = []float64{0.3, 0.5, 0.7, 0.85, 1.0, 1.25}
+
+// latencyBatches sizes the latency trace: 64 bags per batch. Open-loop tails
+// need more samples than the closed-loop means — p99 of a 128-bag trace is
+// its second-highest latency, and an overload has to run long enough for the
+// backlog to dwarf the unloaded service time before the knee is visible — so
+// the latency experiments use a longer trace than the Fig 12 sweeps.
+const latencyBatches = 16
+
+// kneeSchemes contrasts the host-centric baseline with the paper's design on
+// the axis the closed-loop figures cannot show. The sweep adds RecNMP.
+func kneeSchemes() []engine.Scheme { return []engine.Scheme{engine.Pond, engine.PIFSRec} }
+
+func sweepSchemes() []engine.Scheme {
+	return []engine.Scheme{engine.Pond, engine.RecNMP, engine.PIFSRec}
+}
+
+// closedLoopQPS converts a closed-loop result to its throughput in bags per
+// simulated second — the capacity that anchors every load fraction.
+func closedLoopQPS(r engine.Result) float64 {
+	if r.TotalNS == 0 {
+		return 0
+	}
+	return float64(r.Bags) / float64(r.TotalNS) * 1e9
+}
+
+// roundQPS trims a derived rate to whole requests per second. Derived rates
+// flow into the canonical config encoding (and so into memo keys); rounding
+// keeps the keys stable against float formatting while costing less than one
+// part per hundred thousand of load accuracy.
+func roundQPS(q float64) float64 { return math.Round(q) }
+
+// latencyBase builds the shared workload for the latency experiments: the
+// Fig 12(a) model and trace kind, stretched to latencyBatches so the tails
+// have samples. All three experiments share it, so the capacity and unloaded
+// probes memoize across them.
+func latencyBase(s engine.Scheme) engine.Config {
+	m := scaledRMC4()
+	return schemeConfig(s, m, traceFor(trace.MetaLike, m, latencyBatches))
+}
+
+// openLoopJob wraps one scheme's config with an open-loop Poisson (or other)
+// arrival spec.
+func openLoopJob(s engine.Scheme, sp scenario.Spec) Job {
+	cfg := latencyBase(s)
+	cfg.Scenario = &sp
+	return engineJob(cfg)
+}
+
+// latencyProbePhases returns the two lead-in phases every latency experiment
+// shares: phase one measures each scheme's closed-loop capacity, phase two
+// runs an unloaded open-loop probe (probeLoad x capacity, no SLO) whose p99
+// is the scheme's no-queueing tail. Later phases read capacity from
+// prior[si] and the unloaded tail from prior[len(schemes)+si].
+func latencyProbePhases(schemes []engine.Scheme) []phaseFn {
+	closed := func([]JobResult) []Job {
+		out := make([]Job, len(schemes))
+		for i, s := range schemes {
+			out[i] = engineJob(latencyBase(s))
+		}
+		return out
+	}
+	probe := func(prior []JobResult) []Job {
+		out := make([]Job, len(schemes))
+		for i, s := range schemes {
+			qps := roundQPS(probeLoad * closedLoopQPS(prior[i].Engine))
+			out[i] = openLoopJob(s, scenario.Spec{Kind: scenario.Poisson, QPS: qps, Seed: latencySeed})
+		}
+		return out
+	}
+	return []phaseFn{closed, probe}
+}
+
+// sloFor derives scheme si's latency objective from the probe phase results.
+func sloFor(prior []JobResult, schemes []engine.Scheme, si int) int64 {
+	return sloFactor * prior[len(schemes)+si].Engine.Latency.P99NS
+}
+
+// latencyKneeSpec sweeps offered load across each scheme's own capacity and
+// tabulates the p99 knee: under open-loop arrivals the tail is flat below
+// capacity and grows without bound past it — the production behavior the
+// closed-loop figures structurally cannot show, because a closed loop slows
+// its own offered load down to whatever the system sustains.
+func latencyKneeSpec() spec {
+	schemes := kneeSchemes()
+	grid := func(prior []JobResult) []Job {
+		out := make([]Job, 0, len(schemes)*len(kneeLoads))
+		for si, s := range schemes {
+			capQPS := closedLoopQPS(prior[si].Engine)
+			slo := sloFor(prior, schemes, si)
+			for _, f := range kneeLoads {
+				out = append(out, openLoopJob(s, scenario.Spec{
+					Kind: scenario.Poisson, QPS: roundQPS(f * capQPS), SLONS: slo, Seed: latencySeed,
+				}))
+			}
+		}
+		return out
+	}
+	assemble := func(results []JobResult) *report.Table {
+		header := []string{"load"}
+		for _, s := range schemes {
+			header = append(header, string(s)+" p99 ns", string(s)+" goodput%")
+		}
+		t := &report.Table{
+			Title:  "Latency knee: p99 and goodput-under-SLO vs offered load (RMC4, Poisson)",
+			Header: header,
+		}
+		gridBase := 2 * len(schemes)
+		for li, f := range kneeLoads {
+			cells := []any{fmt.Sprintf("%.0f%%", f*100)}
+			for si := range schemes {
+				lat := results[gridBase+si*len(kneeLoads)+li].Engine.Latency
+				good := 0.0
+				if lat.OfferedQPS > 0 {
+					good = 100 * lat.GoodputQPS / lat.OfferedQPS
+				}
+				cells = append(cells, lat.P99NS, good)
+			}
+			t.AddRow(cells...)
+		}
+		for si, s := range schemes {
+			first := results[gridBase+si*len(kneeLoads)].Engine.Latency.P99NS
+			last := results[gridBase+si*len(kneeLoads)+len(kneeLoads)-1].Engine.Latency.P99NS
+			t.AddNote("%s: capacity ~%.0f qps, unloaded p99 %d ns, SLO %d ns; p99 grows %.1fx from %.0f%% to %.0f%% load",
+				s, closedLoopQPS(results[si].Engine), results[len(schemes)+si].Engine.Latency.P99NS,
+				sloFor(results, schemes, si), safeDiv(float64(last), float64(first)),
+				kneeLoads[0]*100, kneeLoads[len(kneeLoads)-1]*100)
+		}
+		t.AddNote("loads are fractions of each scheme's own closed-loop capacity; SLO = %dx its unloaded p99", sloFactor)
+		return t
+	}
+	return spec{phases: append(latencyProbePhases(schemes), grid), assemble: assemble}
+}
+
+// maxQPSBisections is the number of binary-search probes; the answer's
+// resolution is (hi-lo)/2^n of the initial bracket.
+const maxQPSBisections = 6
+
+// maxQPSBracket returns the current (lo, hi, target) of the bisection given
+// every result so far: lo is the highest offered rate whose p99 met the
+// target (0 until one does), hi the lowest that missed it. The bracket is
+// recomputed from scratch each phase, so it is a pure function of prior
+// results and the search memoizes like any other sweep.
+func maxQPSBracket(prior []JobResult) (lo, hi float64, target int64) {
+	capQPS := closedLoopQPS(prior[0].Engine)
+	target = sloFactor * prior[1].Engine.Latency.P99NS
+	// Open-loop queues grow without bound past capacity, so 1.5x capacity is
+	// a safe "miss" ceiling even before any probe confirms it.
+	lo, hi = 0, 1.5*capQPS
+	for _, r := range prior[2:] {
+		lat := r.Engine.Latency
+		if lat.P99NS <= target {
+			if lat.OfferedQPS > lo {
+				lo = lat.OfferedQPS
+			}
+		} else if lat.OfferedQPS < hi {
+			hi = lat.OfferedQPS
+		}
+	}
+	return lo, hi, target
+}
+
+// maxQPSSpec binary-searches the highest offered rate PIFS-Rec sustains with
+// p99 at or under the target (sloFactor x its unloaded p99) — the "max QPS
+// at SLO" number a capacity planner actually provisions against. Each probe
+// is one phase: the next rate depends on the previous verdict, and phases
+// see all earlier results, so the whole search memoizes per probe.
+func maxQPSSpec() spec {
+	schemes := []engine.Scheme{engine.PIFSRec}
+	phases := latencyProbePhases(schemes)
+	for i := 0; i < maxQPSBisections; i++ {
+		phases = append(phases, func(prior []JobResult) []Job {
+			lo, hi, target := maxQPSBracket(prior)
+			return []Job{openLoopJob(engine.PIFSRec, scenario.Spec{
+				Kind: scenario.Poisson, QPS: roundQPS((lo + hi) / 2), SLONS: target, Seed: latencySeed,
+			})}
+		})
+	}
+	assemble := func(results []JobResult) *report.Table {
+		t := &report.Table{
+			Title:  "Max QPS: binary search for the highest load with p99 under SLO (RMC4, PIFS-Rec)",
+			Header: []string{"probe", "offered qps", "p99 ns", "under SLO"},
+		}
+		_, _, target := maxQPSBracket(results[:2])
+		for i, r := range results[2:] {
+			lat := r.Engine.Latency
+			t.AddRow(i+1, lat.OfferedQPS, lat.P99NS, lat.P99NS <= target)
+		}
+		lo, hi, _ := maxQPSBracket(results)
+		t.AddNote("capacity ~%.0f qps closed-loop; SLO %d ns (%dx unloaded p99)",
+			closedLoopQPS(results[0].Engine), target, sloFactor)
+		t.AddNote("max sustainable ~%.0f qps (next known miss %.0f; resolution +/-%.0f after %d probes)",
+			lo, hi, (hi-lo)/2, maxQPSBisections)
+		return t
+	}
+	return spec{phases: phases, assemble: assemble}
+}
+
+// sweepLoads and sweepKinds define the latency-sweep matrix (the BENCH_9
+// surface): below, near, and past the knee, under steady and diurnal load.
+// Trace-driven arrivals are exercised by the engine's scenario tests and the
+// pifssim -scenario front-end — a harness job list must not depend on files
+// materialized at run time.
+var (
+	sweepLoads = []float64{0.5, 0.8, 1.1}
+	sweepKinds = []scenario.Kind{scenario.Poisson, scenario.Diurnal}
+)
+
+// latencySweepSpec tabulates the full tail profile per (scheme, arrival
+// kind, load) — the open-loop companion to Fig 12's closed-loop means.
+func latencySweepSpec() spec {
+	schemes := sweepSchemes()
+	grid := func(prior []JobResult) []Job {
+		var out []Job
+		for si, s := range schemes {
+			capQPS := closedLoopQPS(prior[si].Engine)
+			slo := sloFor(prior, schemes, si)
+			for _, kind := range sweepKinds {
+				for _, f := range sweepLoads {
+					out = append(out, openLoopJob(s, scenario.Spec{
+						Kind: kind, QPS: roundQPS(f * capQPS), SLONS: slo, Seed: latencySeed,
+					}))
+				}
+			}
+		}
+		return out
+	}
+	assemble := func(results []JobResult) *report.Table {
+		t := &report.Table{
+			Title:  "Latency sweep: open-loop tail profile by scheme, arrival kind, and load (RMC4)",
+			Header: []string{"scheme", "kind", "load", "mean ns", "p50", "p95", "p99", "p999", "goodput qps"},
+		}
+		i := 2 * len(schemes)
+		for _, s := range schemes {
+			for _, kind := range sweepKinds {
+				for _, f := range sweepLoads {
+					lat := results[i].Engine.Latency
+					i++
+					t.AddRow(string(s), string(kind), fmt.Sprintf("%.0f%%", f*100),
+						lat.MeanNS, lat.P50NS, lat.P95NS, lat.P99NS, lat.P999NS, lat.GoodputQPS)
+				}
+			}
+		}
+		t.AddNote("loads are fractions of each scheme's closed-loop capacity; SLO = %dx its unloaded p99; diurnal swing %.1f",
+			sloFactor, scenario.DefaultSwing)
+		return t
+	}
+	return spec{phases: append(latencyProbePhases(schemes), grid), assemble: assemble}
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"testing"
+)
+
+// runPhases executes a spec's phases through the shared pool and returns the
+// concatenated results — the raw numbers behind the table, which the gates
+// below assert on directly.
+func runPhases(sp spec) []JobResult {
+	var results []JobResult
+	for _, ph := range sp.phases {
+		results = append(results, pool.RunJobs(ph(results))...)
+	}
+	return results
+}
+
+// TestLatencyKneeMonotone is the acceptance gate on the knee experiment: for
+// every scheme in the sweep, p99 must be (near-)monotone in offered load and
+// must clearly take off past the knee — open-loop queues grow without bound
+// above capacity, so a flat or descending tail would mean arrivals are not
+// actually open-loop. A 5% slack absorbs the quantile sketch's resolution
+// (1/128 relative) and per-rate arrival-draw noise at far-below-knee loads.
+func TestLatencyKneeMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("knee sweep simulates the full load grid")
+	}
+	schemes := kneeSchemes()
+	if len(schemes) < 2 {
+		t.Fatalf("knee experiment covers %d schemes, want at least 2", len(schemes))
+	}
+	results := runPhases(latencyKneeSpec())
+	gridBase := 2 * len(schemes)
+	for si, s := range schemes {
+		p99s := make([]int64, len(kneeLoads))
+		for li := range kneeLoads {
+			lat := results[gridBase+si*len(kneeLoads)+li].Engine.Latency
+			if lat.Requests == 0 || lat.P99NS <= 0 {
+				t.Fatalf("%s load %.0f%%: degenerate latency report %+v", s, kneeLoads[li]*100, lat)
+			}
+			if lat.GoodputQPS > lat.OfferedQPS*1.001 {
+				t.Errorf("%s load %.0f%%: goodput %.0f exceeds offered %.0f",
+					s, kneeLoads[li]*100, lat.GoodputQPS, lat.OfferedQPS)
+			}
+			p99s[li] = lat.P99NS
+		}
+		for li := 1; li < len(p99s); li++ {
+			if float64(p99s[li]) < 0.95*float64(p99s[li-1]) {
+				t.Errorf("%s: p99 not monotone in load: %v (ns, loads %v)", s, p99s, kneeLoads)
+				break
+			}
+		}
+		if first, last := p99s[0], p99s[len(p99s)-1]; last < 2*first {
+			t.Errorf("%s: no knee: p99 %d ns at %.0f%% load vs %d ns at %.0f%%",
+				s, first, kneeLoads[0]*100, last, kneeLoads[len(kneeLoads)-1]*100)
+		}
+	}
+}
+
+// TestMaxQPSBisection gates the binary search: the bracket must tighten to
+// its advertised resolution, the answer must sit below the miss ceiling, and
+// a verified good probe must exist (the search cannot return its lower bound
+// untouched unless every probe missed — which would mean the SLO target is
+// below even the unloaded tail).
+func TestMaxQPSBisection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisection runs sequential open-loop probes")
+	}
+	results := runPhases(maxQPSSpec())
+	if want := 2 + maxQPSBisections; len(results) != want {
+		t.Fatalf("bisection produced %d results, want %d", len(results), want)
+	}
+	lo, hi, target := maxQPSBracket(results)
+	if !(lo > 0) {
+		t.Fatalf("no probe met the p99 target %d ns; bracket [%.0f, %.0f]", target, lo, hi)
+	}
+	if lo >= hi {
+		t.Fatalf("bracket inverted: lo %.0f >= hi %.0f", lo, hi)
+	}
+	capQPS := closedLoopQPS(results[0].Engine)
+	initial := 1.5 * capQPS
+	if res := hi - lo; res > initial/float64(int64(1)<<maxQPSBisections)+1 {
+		t.Errorf("bracket width %.0f qps did not tighten to %.0f/2^%d", res, initial, maxQPSBisections)
+	}
+	// The answer is a load the system genuinely sustains: re-checking the
+	// highest passing probe's report confirms its p99 met the target.
+	for _, r := range results[2:] {
+		lat := r.Engine.Latency
+		if lat.OfferedQPS == lo && lat.P99NS > target {
+			t.Errorf("winning probe at %.0f qps has p99 %d ns over target %d", lo, lat.P99NS, target)
+		}
+	}
+}
+
+// TestLatencyExperimentWiring pins the cheap structural facts: the three
+// experiments are registered, and their first phases are plain closed-loop
+// capacity probes (no scenario), so the probes share memo entries across the
+// three experiments.
+func TestLatencyExperimentWiring(t *testing.T) {
+	sps := specs()
+	for id, phases := range map[string]int{
+		"latency-knee":  3,
+		"latency-sweep": 3,
+		"max-qps":       2 + maxQPSBisections,
+	} {
+		sp, ok := sps[id]
+		if !ok {
+			t.Errorf("experiment %s not registered", id)
+			continue
+		}
+		if len(sp.phases) != phases {
+			t.Errorf("%s has %d phases, want %d", id, len(sp.phases), phases)
+		}
+		for i, j := range Jobs(id) {
+			if j.Engine == nil || j.Engine.Scenario != nil {
+				t.Errorf("%s capacity-probe job %d is not a plain closed-loop engine job", id, i)
+			}
+		}
+	}
+	if n := len(Jobs("latency-knee")); n != len(kneeSchemes()) {
+		t.Errorf("latency-knee probes %d schemes, want %d", n, len(kneeSchemes()))
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"pifsrec/internal/engine"
 	"pifsrec/internal/memo"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/trace"
 )
 
@@ -212,6 +213,51 @@ func TestCorruptCacheCannotChangeResults(t *testing.T) {
 	st := fresh.Stats()
 	if st.CorruptEntries != int64(entries) {
 		t.Errorf("%d corrupt entries detected, want %d", st.CorruptEntries, entries)
+	}
+}
+
+// TestScenarioMemoKeys pins the scenario layer's cache semantics at the job
+// level: a nil and a present-but-empty scenario spec hash identically — a
+// non-scenario job's key is untouched by the feature — while a real spec
+// (and each of its knobs) changes the key. The schema fingerprint folded
+// into every hash must name the new Latency field: that fingerprint is what
+// already invalidated every pre-scenario cache entry when Result grew the
+// field, which is why memo.CodeVersion did not need a bump.
+func TestScenarioMemoKeys(t *testing.T) {
+	m := scaledRMC4()
+	tr := traceFor(trace.Uniform, m, 1)
+	base := schemeConfig(engine.PIFSRec, m, tr)
+
+	hash := func(c engine.Config) memo.Hash {
+		t.Helper()
+		h, err := (Job{Engine: &c}).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	nilKey := hash(base)
+	empty := base
+	empty.Scenario = &scenario.Spec{}
+	if hash(empty) != nilKey {
+		t.Error("empty scenario spec changed a non-scenario job's memo key")
+	}
+
+	open := base
+	open.Scenario = &scenario.Spec{Kind: scenario.Poisson, QPS: 1e6, Seed: 2}
+	openKey := hash(open)
+	if openKey == nilKey {
+		t.Error("open-loop job hashed identically to its closed-loop twin")
+	}
+	faster := open
+	faster.Scenario = &scenario.Spec{Kind: scenario.Poisson, QPS: 2e6, Seed: 2}
+	if hash(faster) == openKey {
+		t.Error("scenario QPS is not part of the memo key")
+	}
+
+	if !strings.Contains(resultSchema, "Latency") {
+		t.Error("result schema fingerprint does not cover Result.Latency; stale pre-scenario cache entries could alias")
 	}
 }
 

@@ -1,0 +1,127 @@
+package scenario
+
+import "math/bits"
+
+// Sketch is a fixed-memory log-bucketed latency histogram (HDR-histogram
+// style): values below 2^subBits land in exact unit buckets, larger values
+// in 2^subBits sub-buckets per power of two, so the relative quantile error
+// is bounded by 1/2^(subBits+1) < 0.8% at any stream length. All state is a
+// flat count array plus three scalars — no allocation after construction,
+// and Merge is a binwise add, which makes sharded aggregation exactly
+// associative and commutative: merging per-host sketches in any grouping
+// yields bit-identical bins, the property the byte-determinism contract
+// needs when one latency table is assembled from per-host streams.
+type Sketch struct {
+	counts [sketchBuckets]int64
+	total  int64
+	sum    int64
+	max    int64
+}
+
+const (
+	// subBits is the per-octave resolution: 64 sub-buckets per power of two.
+	subBits  = 6
+	subCount = 1 << subBits
+	// sketchBuckets covers every non-negative int64: exponents 0..56 each
+	// contribute subCount buckets (indices [64e+64, 64e+128)), and indices
+	// below subCount*2 are the exact unit range.
+	sketchBuckets = subCount * 58
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - (subBits + 1)
+	return e*subCount + int(uint64(v)>>uint(e))
+}
+
+// bucketMid returns the bucket's representative value: exact below 2*subCount,
+// the sub-bucket midpoint above (error ≤ half the sub-bucket width).
+func bucketMid(idx int) int64 {
+	if idx < 2*subCount {
+		return int64(idx)
+	}
+	e := idx/subCount - 1
+	low := int64(idx-e*subCount) << uint(e)
+	return low + int64(1)<<uint(e)/2
+}
+
+// Record adds one latency sample. Negative values clamp to zero — a
+// completion can never precede its arrival, so a negative sample is a caller
+// bug the sketch tolerates rather than corrupting its bins.
+func (s *Sketch) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	s.counts[bucketIndex(v)]++
+	s.total++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Merge folds o into s binwise. Exactly associative and commutative.
+func (s *Sketch) Merge(o *Sketch) {
+	for i, c := range o.counts {
+		if c != 0 {
+			s.counts[i] += c
+		}
+	}
+	s.total += o.total
+	s.sum += o.sum
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (s *Sketch) Count() int64 { return s.total }
+
+// Max returns the exact largest recorded sample (0 when empty).
+func (s *Sketch) Max() int64 { return s.max }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.total)
+}
+
+// Quantile returns the nearest-rank q-quantile's bucket representative:
+// the value v such that at least ceil(q*count) samples are ≤ its bucket,
+// within the sketch's relative-error bound of the exact order statistic.
+// q outside [0,1] clamps; an empty sketch returns 0.
+func (s *Sketch) Quantile(q float64) int64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.total))
+	if float64(rank) < q*float64(s.total) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			mid := bucketMid(i)
+			if mid > s.max {
+				mid = s.max
+			}
+			return mid
+		}
+	}
+	return s.max
+}

@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pifsrec/internal/sim"
+)
+
+// relErrBound is the sketch's guaranteed relative quantile error: half a
+// sub-bucket at 2^subBits sub-buckets per octave.
+const relErrBound = 1.0 / (1 << (subBits + 1))
+
+// refQuantile is the exact nearest-rank order statistic the sketch
+// approximates: the smallest value with at least ceil(q*n) samples at or
+// below it.
+func refQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestSketchExactBelowTwoOctaves pins the exact range: every value below
+// 2*subCount has its own unit bucket, so small latencies come back exact.
+func TestSketchExactBelowTwoOctaves(t *testing.T) {
+	var s Sketch
+	for v := int64(0); v < 2*subCount; v++ {
+		s.Record(v)
+	}
+	for i := 1; i <= int(2*subCount); i++ {
+		q := float64(i) / (2 * subCount)
+		want := int64(i - 1)
+		if got := s.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %d, want exact %d", q, got, want)
+		}
+	}
+}
+
+// TestSketchQuantileVsSortedReference cross-checks the sketch against a
+// sorted reference on streams spanning six orders of magnitude: every
+// reported quantile must sit within the advertised relative error of the
+// exact nearest-rank order statistic.
+func TestSketchQuantileVsSortedReference(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 1000, 20000} {
+		rng := sim.NewRNG(uint64(n) + 1)
+		var s Sketch
+		vals := make([]int64, n)
+		for i := range vals {
+			// Log-uniform over [1, 1e9): tails matter at every scale.
+			v := int64(math.Exp(rng.Float64() * math.Log(1e9)))
+			vals[i] = v
+			s.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			got := s.Quantile(q)
+			want := refQuantile(vals, q)
+			if errAbs := math.Abs(float64(got - want)); errAbs > relErrBound*float64(want)+0.5 {
+				t.Fatalf("n=%d q=%v: sketch %d vs exact %d exceeds %.4f relative error",
+					n, q, got, want, relErrBound)
+			}
+		}
+		if s.Max() != vals[n-1] {
+			t.Fatalf("n=%d: Max %d, want exact %d", n, s.Max(), vals[n-1])
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += float64(v)
+		}
+		if got, want := s.Mean(), sum/float64(n); got != want {
+			t.Fatalf("n=%d: Mean %v, want exact %v", n, got, want)
+		}
+	}
+}
+
+// TestSketchMergeAssociativity is the sharded-aggregation property: a stream
+// split across per-host sketches and merged in any grouping or order is
+// bit-identical to recording the whole stream into one sketch. Sketch is a
+// comparable value (flat array plus scalars), so == is the full check.
+func TestSketchMergeAssociativity(t *testing.T) {
+	rng := sim.NewRNG(7)
+	var whole Sketch
+	parts := make([]Sketch, 4)
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Uint64() % 5_000_000)
+		whole.Record(v)
+		parts[i%4].Record(v)
+	}
+
+	// Left fold: ((p0+p1)+p2)+p3.
+	var left Sketch
+	for i := range parts {
+		p := parts[i]
+		left.Merge(&p)
+	}
+	// Tree fold in reversed order: (p3+p2)+(p1+p0).
+	a, b := parts[3], parts[1]
+	a.Merge(&parts[2])
+	b.Merge(&parts[0])
+	a.Merge(&b)
+
+	if left != whole {
+		t.Fatal("left-fold merge diverged from single-stream sketch")
+	}
+	if a != whole {
+		t.Fatal("tree-fold merge diverged from single-stream sketch")
+	}
+}
+
+// TestSketchGoldenQuantiles pins concrete outputs for a fixed stream so the
+// bucketing scheme cannot drift silently: any change to subBits, bucketMid,
+// or the rank walk shows up as a diff here, which matters because recorded
+// latency tables (BENCH files, memoized results) embed these exact values.
+func TestSketchGoldenQuantiles(t *testing.T) {
+	var s Sketch
+	for v := int64(1); v <= 10000; v++ {
+		s.Record(v)
+	}
+	golden := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 5024},
+		{0.95, 9536},
+		{0.99, 9920},
+		{0.999, 10000},
+		{1, 10000},
+	}
+	for _, g := range golden {
+		if got := s.Quantile(g.q); got != g.want {
+			t.Errorf("Quantile(%v) = %d, want golden %d", g.q, got, g.want)
+		}
+	}
+}
+
+// TestSketchEdgeCases covers the empty sketch, negative clamping, and
+// quantile clamping.
+func TestSketchEdgeCases(t *testing.T) {
+	var s Sketch
+	if s.Quantile(0.99) != 0 || s.Max() != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Fatal("empty sketch not all-zero")
+	}
+	s.Record(-5)
+	if s.Count() != 1 || s.Max() != 0 || s.Quantile(1) != 0 {
+		t.Fatalf("negative sample did not clamp to zero: %+v", s)
+	}
+	s.Record(100)
+	if got := s.Quantile(-3); got != 0 {
+		t.Fatalf("Quantile(-3) = %d, want lowest sample", got)
+	}
+	if got := s.Quantile(42); got != 100 {
+		t.Fatalf("Quantile(42) = %d, want max", got)
+	}
+}
+
+// TestBucketRoundTrip is the mapping property behind the error bound:
+// bucketIndex is monotone and bucketMid lands inside the advertised relative
+// error at every magnitude up to 2^56.
+func TestBucketRoundTrip(t *testing.T) {
+	prev := -1
+	for shift := uint(0); shift < 56; shift++ {
+		for _, off := range []int64{0, 1} {
+			v := int64(1)<<shift + off
+			idx := bucketIndex(v)
+			if idx < prev {
+				t.Fatalf("bucketIndex not monotone at %d: %d after %d", v, idx, prev)
+			}
+			prev = idx
+			if idx < 0 || idx >= sketchBuckets {
+				t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+			}
+			mid := bucketMid(idx)
+			if errAbs := math.Abs(float64(mid - v)); errAbs > relErrBound*float64(v)+0.5 {
+				t.Fatalf("bucketMid(bucketIndex(%d)) = %d: error beyond bound", v, mid)
+			}
+		}
+	}
+	if idx := bucketIndex(math.MaxInt64); idx >= sketchBuckets {
+		t.Fatalf("MaxInt64 maps to %d beyond the bin array", idx)
+	}
+}

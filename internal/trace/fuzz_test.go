@@ -42,6 +42,25 @@ func FuzzReadFile(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
+
+		// The streaming decoder must agree with Read on every input: same
+		// accept/reject verdict, and on accept the same bag sequence. It may
+		// never panic either.
+		var sBags []Bag
+		sErr := func() error {
+			sr, err := NewStream(bytes.NewReader(data))
+			if err != nil {
+				return err
+			}
+			sBags, err = streamAll(sr)
+			return err
+		}()
+		if (err == nil) != (sErr == nil) {
+			t.Fatalf("stream/Read verdicts diverged: Read %v, stream %v", err, sErr)
+		}
+		if err == nil && len(sBags)+len(got.Bags) > 0 && !reflect.DeepEqual(sBags, got.Bags) {
+			t.Fatalf("stream bags diverged from Read:\n stream: %+v\n read:   %+v", sBags, got.Bags)
+		}
 		if err != nil {
 			return // rejection is fine; panicking or mis-accepting is not
 		}

@@ -1,21 +1,23 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_8.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_9.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
 // path allocation behavior, sharded-kernel scaling, placement-matrix
 // wall-clocks, figure wall-clocks, result-cache memoization wall-clocks,
-// vectorized-math kernels, numasim model parity). It only runs when
-// explicitly requested, because it spends bench time:
+// vectorized-math kernels, numasim model parity, open-loop latency-sweep
+// tail matrix). It only runs when explicitly requested, because it spends
+// bench time:
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_8.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_9.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"pifsrec/internal/harness"
 	"pifsrec/internal/memo"
 	"pifsrec/internal/numasim"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 	"pifsrec/internal/vecmath"
@@ -79,6 +82,13 @@ type benchSnapshot struct {
 	// NumasimParityWorstPct is the worst |event-analytic|/analytic AppGBs
 	// delta across the full numasim seed sweep, in percent.
 	NumasimParityWorstPct float64 `json:"numasim_parity_worst_pct"`
+	// LatencyTail is the open-loop latency-sweep matrix: per
+	// "scheme/kind/load%" cell, the arrival-to-completion tail quantiles and
+	// goodput under an SLO of 2x the scheme's unloaded p99. Loads are
+	// fractions of each scheme's own closed-loop capacity; the knee —
+	// bounded tails below capacity, unbounded queueing above — is the
+	// behavior the closed-loop figure rows structurally cannot show.
+	LatencyTail map[string]latencyCell `json:"latency_tail"`
 	// Memo is the content-addressed result cache: per-sweep cold vs warm
 	// (all-hit) wall-clock, the incremental cost of re-running a sweep with
 	// exactly one config edited, and the key/store micro-costs.
@@ -90,6 +100,16 @@ type benchSnapshot struct {
 		HashNsPerConfig  float64            `json:"hash_ns_per_config"`
 		StoreRoundTripNs float64            `json:"store_roundtrip_ns_per_entry"`
 	} `json:"memo"`
+}
+
+type latencyCell struct {
+	OfferedQPS float64 `json:"offered_qps"`
+	MeanNS     float64 `json:"mean_ns"`
+	P50NS      int64   `json:"p50_ns"`
+	P95NS      int64   `json:"p95_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	P999NS     int64   `json:"p999_ns"`
+	GoodputQPS float64 `json:"goodput_qps"`
 }
 
 type schedCell struct {
@@ -125,11 +145,11 @@ func cpuModel() string {
 
 func TestWriteBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_8.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_9.json")
 	}
 
 	var snap benchSnapshot
-	snap.PR = 8
+	snap.PR = 9
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -168,7 +188,7 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	}
 
 	snap.FigureWallMs = map[string]float64{}
-	for _, id := range []string{"fig12a", "fig12b", "fig13a", "fault-sweep"} {
+	for _, id := range []string{"fig12a", "fig12b", "fig13a", "fault-sweep", "latency-knee"} {
 		id := id
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -287,6 +307,54 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		}
 	}
 
+	// Open-loop latency-sweep tail matrix (the latency-sweep experiment's
+	// numbers in machine-readable form): capacity-probe each scheme closed-
+	// loop, measure its unloaded tail at 25% load, then sweep Poisson and
+	// diurnal arrivals below, near, and past the knee.
+	snap.LatencyTail = map[string]latencyCell{}
+	latTr, err := trace.Generate(trace.Spec{
+		Kind: trace.MetaLike, Tables: m.Tables, RowsPerTable: m.EmbRows,
+		Batches: 16, BatchSize: 4, BagSize: 32, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []engine.Scheme{engine.Pond, engine.RecNMP, engine.PIFSRec} {
+		base := engine.Config{Scheme: s, Model: m, Trace: latTr, Seed: 3}
+		clean, err := engine.Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capQPS := float64(clean.Bags) / float64(clean.TotalNS) * 1e9
+		openLoop := func(sp scenario.Spec) scenario.LatencyReport {
+			cfg := base
+			cfg.Scenario = &sp
+			res, err := engine.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Latency
+		}
+		probe := openLoop(scenario.Spec{Kind: scenario.Poisson, QPS: math.Round(0.25 * capQPS), Seed: 13})
+		slo := 2 * probe.P99NS
+		for _, kind := range []scenario.Kind{scenario.Poisson, scenario.Diurnal} {
+			for _, load := range []float64{0.5, 0.8, 1.1} {
+				lat := openLoop(scenario.Spec{
+					Kind: kind, QPS: math.Round(load * capQPS), SLONS: slo, Seed: 13,
+				})
+				snap.LatencyTail[fmt.Sprintf("%s/%s/%.0f%%", s, kind, load*100)] = latencyCell{
+					OfferedQPS: lat.OfferedQPS,
+					MeanNS:     lat.MeanNS,
+					P50NS:      lat.P50NS,
+					P95NS:      lat.P95NS,
+					P99NS:      lat.P99NS,
+					P999NS:     lat.P999NS,
+					GoodputQPS: lat.GoodputQPS,
+				}
+			}
+		}
+	}
+
 	// Numasim model parity (the gate behind pifsbench -model) — the same
 	// figure the numasim-parity experiment note prints.
 	worst, err := numasim.WorstSeedParityPct(numasim.Genoa())
@@ -377,9 +445,9 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_8.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_9.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_8.json: %.1fM events/sec, warm fig13a %.1fx over cold\n",
+	fmt.Printf("wrote BENCH_9.json: %.1fM events/sec, warm fig13a %.1fx over cold\n",
 		snap.EventKernel.EventsPerSec/1e6, snap.Memo.WarmSpeedup["fig13a"])
 }

@@ -22,6 +22,7 @@ import (
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/engine"
 	"pifsrec/internal/fault"
+	"pifsrec/internal/scenario"
 	"pifsrec/internal/trace"
 )
 
@@ -100,6 +101,31 @@ func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.Load(path) }
 func ValidateFaultPlan(p *FaultPlan, cfg Config) error {
 	return p.Validate(engine.FaultTopology(cfg))
 }
+
+// ScenarioSpec is a declarative open-loop arrival scenario (see
+// internal/scenario): instead of the closed loop's fixed in-flight depth, an
+// arrival process assigns every bag a request time and the engine tracks
+// arrival-to-completion latency into Result.Latency. Assign one to
+// Config.Scenario; the zero/empty spec is the plain closed loop, bit for bit.
+type ScenarioSpec = scenario.Spec
+
+// The open-loop arrival kinds.
+const (
+	ScenarioPoisson = scenario.Poisson
+	ScenarioDiurnal = scenario.Diurnal
+	ScenarioTrace   = scenario.Trace
+)
+
+// LatencyReport is the open-loop tail-latency summary in Result.Latency:
+// fixed-memory p50/p95/p99/p999 plus goodput-under-SLO.
+type LatencyReport = scenario.LatencyReport
+
+// LoadScenario reads a JSON scenario spec from a file, rejecting unknown
+// fields so a typo'd key fails loudly instead of running a different load.
+func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
+
+// ParseScenario decodes a JSON scenario spec.
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return scenario.Parse(data) }
 
 // TraceFor generates a trace shaped for a model with sane defaults: the
 // given kind, batches x 4 queries, pooling factor 32.
