@@ -10,13 +10,23 @@
 //	pifssim -scheme PIFS-Rec -scenario load.json     # open-loop tail latency
 //	pifssim -experiment fig13a -cache-dir ~/.cache/pifsrec
 //	pifssim -serve :8080 -cache-dir ~/.cache/pifsrec
+//	pifssim -worker http://host:8080 -cache-dir ~/.cache/pifsrec
+//
+// -serve runs the sweep service; with workers attached it doubles as the
+// coordinator of a distributed sweep, leasing cache-miss jobs to a pull
+// fleet. -worker joins that fleet: lease jobs, run them through the local
+// result cache, post CRC-framed results back.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"time"
 
 	"pifsrec"
 	"pifsrec/internal/harness"
@@ -43,6 +53,12 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory (created if missing; sweeps re-simulate only configs the cache has never seen)")
 	experiment := flag.String("experiment", "", "run one named experiment sweep instead of a single config (see pifsbench -list)")
 	serveAddr := flag.String("serve", "", "listen address (e.g. :8080) for the long-lived sweep service")
+	leaseTTL := flag.Duration("lease-ttl", 20*time.Second, "(-serve) how long a worker holds a leased job before it is re-issued")
+	claimBudget := flag.Duration("claim-budget", 250*time.Millisecond, "(-serve) how long a job waits for a worker before the coordinator runs it locally (only gates while live workers are attached)")
+	workerURL := flag.String("worker", "", "coordinator base URL (e.g. http://host:8080): run as a pull worker instead of simulating")
+	workerID := flag.String("worker-id", "", "(-worker) name reported in leases and /v1/jobs/status (default hostname-pid)")
+	leaseMax := flag.Int("lease-max", 4, "(-worker) jobs to lease per poll")
+	poll := flag.Duration("poll", time.Second, "(-worker) idle long-poll duration at the coordinator")
 	flag.Parse()
 
 	// Flag validation fails fast with actionable messages and exit code 2
@@ -58,14 +74,52 @@ func main() {
 		harness.SetStore(store)
 	}
 
+	if *serveAddr != "" && *workerURL != "" {
+		fmt.Fprintln(os.Stderr, "pifssim: -serve and -worker are mutually exclusive (a worker pulls from a separate -serve process)")
+		os.Exit(2)
+	}
+
 	if *serveAddr != "" {
 		if *cacheDir == "" {
 			// A long-lived service should memoize even without persistence:
 			// repeated sweeps hit the in-memory LRU for the process lifetime.
 			harness.SetStore(memo.InMemory())
 		}
-		fmt.Fprintf(os.Stderr, "pifssim: serving on %s (cache: %s)\n", *serveAddr, cacheDesc(*cacheDir))
-		if err := http.ListenAndServe(*serveAddr, serve.NewHandler()); err != nil {
+		lg := log.New(os.Stderr, "pifssim: ", log.LstdFlags)
+		coord := serve.NewCoordinator(serve.CoordinatorConfig{
+			LeaseTTL:    *leaseTTL,
+			ClaimBudget: *claimBudget,
+			Log:         lg,
+		})
+		coord.Install()
+		lg.Printf("serving on %s (cache: %s; lease-ttl %v, claim-budget %v)",
+			*serveAddr, cacheDesc(*cacheDir), *leaseTTL, *claimBudget)
+		if err := http.ListenAndServe(*serveAddr, serve.Handler(serve.Options{Coordinator: coord, Log: lg})); err != nil {
+			fmt.Fprintln(os.Stderr, "pifssim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *workerURL != "" {
+		var store *memo.Store
+		if *cacheDir != "" {
+			// Reuse the store probed above so the worker's cache survives
+			// restarts; without -cache-dir the worker memoizes in memory for
+			// its lifetime.
+			store = harness.CurrentStore()
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		err := serve.RunWorker(ctx, serve.WorkerConfig{
+			Coordinator: *workerURL,
+			ID:          *workerID,
+			Store:       store,
+			LeaseMax:    *leaseMax,
+			Poll:        *poll,
+			Log:         log.New(os.Stderr, "pifssim: ", log.LstdFlags),
+		})
+		if err != nil && err != context.Canceled {
 			fmt.Fprintln(os.Stderr, "pifssim:", err)
 			os.Exit(1)
 		}
@@ -189,9 +243,9 @@ func main() {
 	}
 
 	res, err := pifsrec.Simulate(pifsrec.Config{
-		Scheme:      pifsrec.Scheme(*scheme),
-		Model:       m,
-		Trace:       tr,
+		Scheme:        pifsrec.Scheme(*scheme),
+		Model:         m,
+		Trace:         tr,
 		Devices:       *devices,
 		Switches:      *switches,
 		Hosts:         *hosts,

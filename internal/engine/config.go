@@ -46,7 +46,11 @@ func Schemes() []Scheme { return []Scheme{Pond, PondPM, BEACON, RecNMP, PIFSRec}
 type Config struct {
 	Scheme Scheme
 	Model  dlrm.ModelConfig
-	Trace  *trace.Trace
+	// Trace is excluded from the JSON form: the distributed-sweep wire
+	// encoding (harness.EncodeJob) ships it as framed PIFSTRC1 bytes next
+	// to the config JSON, because a JSON rendering of multi-thousand-index
+	// bags is an order of magnitude larger than the binary trace format.
+	Trace *trace.Trace `json:"-"`
 
 	// Devices is the number of CXL Type 3 memory devices (default 4, the
 	// paper's default; Fig 12(c) sweeps 2..16).
@@ -70,8 +74,10 @@ type Config struct {
 	// Placement overrides the default cost-balanced dynamic placement with
 	// a static policy (groups -> workers). Placement is pure scheduling —
 	// results never depend on it; the property tests exploit this field to
-	// prove it. Nil selects the default.
-	Placement sim.PlacementPolicy
+	// prove it. Nil selects the default. Excluded from the JSON form (a
+	// func type has no wire representation); jobs carrying one are not
+	// distributable and run on the coordinator.
+	Placement sim.PlacementPolicy `json:"-"`
 
 	// PlacementMode selects the dynamic placement flavor: "" or "affinity"
 	// (the default) co-locates chatty group pairs along the measured

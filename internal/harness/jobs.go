@@ -131,15 +131,18 @@ func (j Job) hashSalted(salt string) (memo.Hash, error) {
 	return h.Sum(), nil
 }
 
-// encodeJobResult serializes a result for the cache. The payload format is
-// JSON — corruption safety comes from the store's framing and checksum, and
-// schema safety from the result-schema fingerprint in the key, so the
-// payload encoding only has to round-trip exactly. encoding/json emits the
-// shortest float representation that parses back to the identical bits,
-// which is what keeps warm tables byte-identical to cold ones.
-func encodeJobResult(r JobResult) ([]byte, error) { return json.Marshal(r) }
+// EncodeJobResult serializes a result for the cache and the distribution
+// wire. The payload format is JSON — corruption safety comes from the
+// store's framing and checksum, and schema safety from the result-schema
+// fingerprint in the key, so the payload encoding only has to round-trip
+// exactly. encoding/json emits the shortest float representation that
+// parses back to the identical bits, which is what keeps warm tables
+// byte-identical to cold ones — and a decode→re-encode cycle (a worker
+// result passing through the coordinator) byte-stable.
+func EncodeJobResult(r JobResult) ([]byte, error) { return json.Marshal(r) }
 
-func decodeJobResult(payload []byte) (JobResult, error) {
+// DecodeJobResult is the inverse of EncodeJobResult.
+func DecodeJobResult(payload []byte) (JobResult, error) {
 	var r JobResult
 	err := json.Unmarshal(payload, &r)
 	return r, err
@@ -156,6 +159,10 @@ func SetStore(s *memo.Store) *memo.Store {
 	memoStore = s
 	return prev
 }
+
+// CurrentStore returns the installed result cache (nil when memoization is
+// disabled). Worker mode reuses it as the worker's local cache.
+func CurrentStore() *memo.Store { return memoStore }
 
 // CacheStats returns the installed store's counters (zero Stats without a
 // store).
@@ -215,14 +222,49 @@ func execJob(r *Runner, sweep int, j Job) JobResult {
 	panic("harness: empty job")
 }
 
+// Distributor executes a sweep's cache-miss set, possibly on remote
+// workers. jobs and hashes are parallel; localWorkers is the caller's pool
+// width (the local-fallback concurrency bound); runLocal(k) executes miss k
+// on the calling process. The returned slice is parallel to jobs. The
+// contract is pure delegation: a distributor must return, for every miss,
+// exactly the JobResult runLocal would have produced — results are content-
+// addressed, so where a job ran can never show in its bytes.
+type Distributor func(jobs []Job, hashes []memo.Hash, localWorkers int, runLocal func(k int) JobResult) []JobResult
+
+// distributor is the installed distribution seam; nil keeps every miss on
+// the local pool.
+var distributor Distributor
+
+// SetDistributor installs the distribution seam behind RunJobs (nil
+// restores pool-local execution) and returns the previous one. The serve
+// coordinator installs its job board here; worker processes never install
+// one (their RunJobsLocal path bypasses it by construction, so a worker can
+// not recursively distribute).
+func SetDistributor(d Distributor) Distributor {
+	prev := distributor
+	distributor = d
+	return prev
+}
+
 // RunJobs executes a job list and returns results in submission order.
 // With a store installed (SetStore) it simulates only the cache misses —
-// in parallel across the pool — and backfills the cache; without one it
-// degenerates to the plain parallel sweep. Either way the result slice is
-// identical: memoization is invisible except in wall-clock and counters.
+// in parallel across the pool, or through the installed Distributor — and
+// backfills the cache; without one it degenerates to the plain parallel
+// sweep. Either way the result slice is identical: memoization and
+// distribution are invisible except in wall-clock and counters.
 func (r *Runner) RunJobs(jobs []Job) []JobResult {
+	return r.runJobs(memoStore, distributor, jobs)
+}
+
+// RunJobsLocal is RunJobs against an explicit store and never distributes:
+// the pull-worker loop runs leased jobs through it so a worker answers from
+// its own cache first and can never re-enter the coordinator's job board.
+func (r *Runner) RunJobsLocal(st *memo.Store, jobs []Job) []JobResult {
+	return r.runJobs(st, nil, jobs)
+}
+
+func (r *Runner) runJobs(st *memo.Store, dist Distributor, jobs []Job) []JobResult {
 	out := make([]JobResult, len(jobs))
-	st := memoStore
 	if st == nil {
 		r.Do(len(jobs), func(i int) { out[i] = execJob(r, len(jobs), jobs[i]) })
 		return out
@@ -236,7 +278,7 @@ func (r *Runner) RunJobs(jobs []Job) []JobResult {
 		}
 		hashes[i] = h
 		if payload, ok := st.Get(h); ok {
-			if res, derr := decodeJobResult(payload); derr == nil {
+			if res, derr := DecodeJobResult(payload); derr == nil {
 				out[i] = res
 				continue
 			}
@@ -245,9 +287,24 @@ func (r *Runner) RunJobs(jobs []Job) []JobResult {
 		}
 		miss = append(miss, i)
 	}
-	r.Do(len(miss), func(k int) { out[miss[k]] = execJob(r, len(jobs), jobs[miss[k]]) })
+	if dist != nil && len(miss) > 0 {
+		missJobs := make([]Job, len(miss))
+		missHashes := make([]memo.Hash, len(miss))
+		for k, i := range miss {
+			missJobs[k] = jobs[i]
+			missHashes[k] = hashes[i]
+		}
+		res := dist(missJobs, missHashes, r.workers, func(k int) JobResult {
+			return execJob(r, len(jobs), missJobs[k])
+		})
+		for k, i := range miss {
+			out[i] = res[k]
+		}
+	} else {
+		r.Do(len(miss), func(k int) { out[miss[k]] = execJob(r, len(jobs), jobs[miss[k]]) })
+	}
 	for _, i := range miss {
-		if payload, err := encodeJobResult(out[i]); err == nil {
+		if payload, err := EncodeJobResult(out[i]); err == nil {
 			// Put failures (read-only dir, full disk) are counted by the
 			// store and degrade the cache to cost, never correctness.
 			_ = st.Put(hashes[i], payload)

@@ -2,36 +2,25 @@ package memo
 
 import (
 	"container/list"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
 
-// Entry file format (one file per cached result, named by its key hash):
-//
-//	magic   [8]byte  "PIFSMEM1"
-//	version u16      entry-framing version (entryVersion)
-//	key     [32]byte the content hash the entry was stored under
-//	plen    u32      payload length
-//	payload plen bytes
-//	crc     u32      IEEE CRC-32 over everything before it
-//
-// All integers are little-endian. Reads validate every field — magic,
-// version, key-vs-filename match, exact length, checksum — and treat any
-// mismatch as a miss, never an error: the worst a corrupt entry can do is
-// cost a re-simulation.
+// Entry files (one per cached result, named by the key hash) use the CRC
+// frame defined in frame.go — see EncodeFrame/DecodeFrame. Reads validate
+// every field — magic, version, key-vs-filename match, exact length,
+// checksum — and treat any mismatch as a miss, never an error: the worst a
+// corrupt entry can do is cost a re-simulation.
 
-var entryMagic = [8]byte{'P', 'I', 'F', 'S', 'M', 'E', 'M', '1'}
-
-// entryVersion is the on-disk framing version; readers reject (miss) any
-// other version, so framing changes can never misparse old entries.
-const entryVersion = 1
-
-const entryOverhead = 8 + 2 + 32 + 4 + 4 // magic + version + key + plen + crc
+// Aliases for the test suite, which exercises the framing through the
+// store's on-disk entry paths.
+const (
+	entryVersion  = frameVersion
+	entryOverhead = FrameOverhead
+)
 
 // defaultLRUBytes bounds the in-memory payload cache in front of the disk
 // store. Entries are small (a serialized result is a few hundred bytes), so
@@ -148,7 +137,7 @@ func (s *Store) Get(h Hash) ([]byte, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	payload, ok := decodeEntry(raw, h)
+	payload, ok := DecodeFrame(raw, h)
 	if !ok {
 		s.corrupt.Add(1)
 		s.misses.Add(1)
@@ -172,7 +161,7 @@ func (s *Store) Put(h Hash, payload []byte) error {
 	if s.dir == "" {
 		return nil
 	}
-	entry := encodeEntry(h, payload)
+	entry := EncodeFrame(h, payload)
 	path := s.path(h)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		s.putErrors.Add(1)
@@ -214,50 +203,6 @@ func (s *Store) Stats() Stats {
 		CorruptEntries: s.corrupt.Load(),
 		PutErrors:      s.putErrors.Load(),
 	}
-}
-
-func encodeEntry(h Hash, payload []byte) []byte {
-	out := make([]byte, 0, entryOverhead+len(payload))
-	out = append(out, entryMagic[:]...)
-	out = binary.LittleEndian.AppendUint16(out, entryVersion)
-	out = append(out, h[:]...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
-	out = append(out, payload...)
-	crc := crc32.ChecksumIEEE(out)
-	return binary.LittleEndian.AppendUint32(out, crc)
-}
-
-// decodeEntry validates a raw entry file against the hash it should hold.
-// Any deviation — short file, bad magic, unknown version, key mismatch,
-// length mismatch (including trailing garbage), checksum failure — returns
-// ok=false.
-func decodeEntry(raw []byte, want Hash) ([]byte, bool) {
-	if len(raw) < entryOverhead {
-		return nil, false
-	}
-	if [8]byte(raw[:8]) != entryMagic {
-		return nil, false
-	}
-	if binary.LittleEndian.Uint16(raw[8:10]) != entryVersion {
-		return nil, false
-	}
-	var key Hash
-	copy(key[:], raw[10:42])
-	if key != want {
-		return nil, false
-	}
-	plen := binary.LittleEndian.Uint32(raw[42:46])
-	if int(plen) != len(raw)-entryOverhead {
-		return nil, false
-	}
-	body := raw[:len(raw)-4]
-	crc := binary.LittleEndian.Uint32(raw[len(raw)-4:])
-	if crc32.ChecksumIEEE(body) != crc {
-		return nil, false
-	}
-	payload := make([]byte, plen)
-	copy(payload, raw[46:46+plen])
-	return payload, true
 }
 
 func (s *Store) lruGet(h Hash) ([]byte, bool) {

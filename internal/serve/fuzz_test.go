@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"pifsrec/internal/harness"
+	"pifsrec/internal/memo"
+)
+
+// FuzzResultPost throws arbitrary bytes at the result endpoint and checks
+// the only two legal outcomes: a body that survives the frame decoder AND
+// the payload decoder completes the entry (200), anything else is rejected
+// (400) with the entry untouched — no crash, no half-validated result on the
+// board, nothing for RunJobs to later Put in the cache.
+func FuzzResultPost(f *testing.F) {
+	job := harness.Jobs("ablation-migration")[0]
+	h, err := job.Hash()
+	if err != nil {
+		f.Fatal(err)
+	}
+	wire, err := harness.EncodeJob(job)
+	if err != nil {
+		f.Fatal(err)
+	}
+	payload, err := harness.EncodeJobResult(harness.JobResult{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := memo.EncodeFrame(h, payload)
+
+	f.Add(bytes.Clone(good))
+	f.Add([]byte{})
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-1])
+	flip := bytes.Clone(good)
+	flip[len(flip)/2] ^= 0x20
+	f.Add(flip)
+	f.Add(append(bytes.Clone(good), 0xDE, 0xAD))
+	f.Add(memo.EncodeFrame(h, []byte("{not json")))
+	var other memo.Hash
+	other[31] = 7
+	f.Add(memo.EncodeFrame(other, payload))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		c := NewCoordinator(CoordinatorConfig{})
+		c.enqueue(h, wire)
+		req := httptest.NewRequest("POST", "/v1/jobs/result?hash="+h.Hex()+"&lease=1&worker=fuzz", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		c.handleResult(rec, req)
+
+		valid := false
+		if p, ok := memo.DecodeFrame(body, h); ok {
+			if _, derr := harness.DecodeJobResult(p); derr == nil {
+				valid = true
+			}
+		}
+		st := c.Stats()
+		if valid {
+			if rec.Code != 200 || st.RemoteCompleted != 1 {
+				t.Fatalf("valid frame: status %d, remote_completed %d", rec.Code, st.RemoteCompleted)
+			}
+		} else {
+			if rec.Code != 400 || st.RemoteCompleted != 0 || st.CorruptResults != 1 {
+				t.Fatalf("corrupt frame: status %d, remote_completed %d, corrupt %d",
+					rec.Code, st.RemoteCompleted, st.CorruptResults)
+			}
+		}
+	})
+}

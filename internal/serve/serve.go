@@ -14,16 +14,32 @@
 //	POST /v1/simulate           raw config sweep: {"configs": [...]} in,
 //	                            results (engine counters) out, input order
 //	GET  /v1/stats              cumulative result-cache counters
+//	POST /v1/jobs/lease         worker pull: lease cache-miss jobs (dist.go)
+//	POST /v1/jobs/result        worker push: CRC-framed result for a lease
+//	POST /v1/jobs/fail          worker push: return a lease unrun
+//	GET  /v1/jobs/status        job board + per-worker counters
 //
-// Run responses carry X-Memo-Hits / X-Memo-Misses headers: the cache's hit
-// and miss deltas while the request ran (approximate under concurrent
-// requests — the counters are global).
+// Run responses carry X-Memo-Hits / X-Memo-Misses headers — the cache's hit
+// and miss deltas while the request ran — and, with a coordinator attached,
+// X-Jobs-Remote / X-Jobs-Local / X-Jobs-Shared: how many of the sweep's
+// cache misses were completed by workers, by local fallback, or shared with
+// a concurrent identical request (all approximate under concurrent requests
+// — the counters are global).
+//
+// The HTTP layer compresses responses for clients that accept gzip and
+// accepts gzip-compressed request bodies, so multi-MB simulate sweeps and
+// result posts don't dominate on the wire.
 package serve
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"strings"
+	"time"
 
 	"pifsrec/internal/dlrm"
 	"pifsrec/internal/engine"
@@ -130,16 +146,198 @@ func (cs ConfigSpec) config() (engine.Config, error) {
 	}, nil
 }
 
-// NewHandler returns the sweep-service handler. It holds no state of its
-// own — the result cache (harness.SetStore) and runner width are process
-// configuration.
-func NewHandler() http.Handler {
+// Options configures the sweep-service handler.
+type Options struct {
+	// Coordinator enables the distributed job endpoints (/v1/jobs/*) and
+	// the per-request X-Jobs-* headers. Nil answers those endpoints 503;
+	// sweeps then always run on the local pool.
+	Coordinator *Coordinator
+	// Log receives one line per request (method, path, status, duration,
+	// cache and job-board deltas); nil disables request logging.
+	Log *log.Logger
+}
+
+// NewHandler returns the sweep-service handler with no coordinator and no
+// request logging. It holds no state of its own — the result cache
+// (harness.SetStore) and runner width are process configuration.
+func NewHandler() http.Handler { return Handler(Options{}) }
+
+// Handler returns the sweep-service handler for the given options.
+func Handler(o Options) http.Handler {
+	c := o.Coordinator
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/experiments", handleExperiments)
-	mux.HandleFunc("/v1/run", handleRun)
-	mux.HandleFunc("/v1/simulate", handleSimulate)
+	mux.HandleFunc("/v1/run", withDistHeaders(c, handleRun))
+	mux.HandleFunc("/v1/simulate", withDistHeaders(c, handleSimulate))
 	mux.HandleFunc("/v1/stats", handleStats)
-	return mux
+	mux.HandleFunc("/v1/jobs/lease", jobEndpoint(c, (*Coordinator).handleLease))
+	mux.HandleFunc("/v1/jobs/result", jobEndpoint(c, (*Coordinator).handleResult))
+	mux.HandleFunc("/v1/jobs/fail", jobEndpoint(c, (*Coordinator).handleFail))
+	mux.HandleFunc("/v1/jobs/status", jobEndpoint(c, (*Coordinator).handleStatus))
+	var h http.Handler = withGzip(mux)
+	if o.Log != nil {
+		h = withRequestLog(o.Log, c, h)
+	}
+	return h
+}
+
+// jobEndpoint answers a job-board route, or 503 when the service runs
+// without a coordinator.
+func jobEndpoint(c *Coordinator, fn func(*Coordinator, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c == nil {
+			writeError(w, http.StatusServiceUnavailable, "no coordinator: this service runs sweeps on its local pool only")
+			return
+		}
+		fn(c, w, r)
+	}
+}
+
+// bufferedResponse holds a handler's full output so headers computed AFTER
+// the handler ran (the job-board deltas) can still be set before anything
+// reaches the wire. Sweep responses are tables and counter JSON — a few KB.
+type bufferedResponse struct {
+	http.ResponseWriter
+	status int
+	body   []byte
+}
+
+func (b *bufferedResponse) WriteHeader(code int) { b.status = code }
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	b.body = append(b.body, p...)
+	return len(p), nil
+}
+
+// withDistHeaders adds the job-board deltas a sweep request caused to its
+// response headers, next to the memo hit/miss deltas the handlers set.
+func withDistHeaders(c *Coordinator, h http.HandlerFunc) http.HandlerFunc {
+	if c == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		before := c.Stats()
+		buf := &bufferedResponse{ResponseWriter: w, status: http.StatusOK}
+		h(buf, r)
+		after := c.Stats()
+		hdr := w.Header()
+		hdr.Set("X-Jobs-Remote", fmt.Sprint(after.RemoteCompleted-before.RemoteCompleted))
+		hdr.Set("X-Jobs-Local", fmt.Sprint(after.LocalRuns-before.LocalRuns))
+		hdr.Set("X-Jobs-Shared", fmt.Sprint(after.SharedJobs-before.SharedJobs))
+		w.WriteHeader(buf.status)
+		w.Write(buf.body)
+	}
+}
+
+// gzipResponseWriter compresses the response body. The Content-Encoding
+// header must be set before the status line goes out, so both WriteHeader
+// and the first Write arm the compressor; Content-Length is dropped (the
+// compressed size is unknown).
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipResponseWriter) arm() {
+	if g.gz == nil {
+		g.Header().Set("Content-Encoding", "gzip")
+		g.Header().Del("Content-Length")
+		g.gz = gzip.NewWriter(g.ResponseWriter)
+	}
+}
+
+func (g *gzipResponseWriter) WriteHeader(code int) {
+	g.arm()
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) {
+	g.arm()
+	return g.gz.Write(p)
+}
+
+func (g *gzipResponseWriter) Close() error {
+	if g.gz == nil {
+		return nil
+	}
+	return g.gz.Close()
+}
+
+type gzipReadCloser struct {
+	*gzip.Reader
+	orig io.Closer
+}
+
+func (g gzipReadCloser) Close() error {
+	g.Reader.Close()
+	return g.orig.Close()
+}
+
+// withGzip decompresses gzip request bodies and compresses responses for
+// clients that accept gzip (Go's default HTTP client does, transparently).
+func withGzip(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			gz, err := gzip.NewReader(r.Body)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "request body is not valid gzip: %v", err)
+				return
+			}
+			r.Body = gzipReadCloser{Reader: gz, orig: r.Body}
+			r.Header.Del("Content-Encoding")
+		}
+		if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			gw := &gzipResponseWriter{ResponseWriter: w}
+			defer gw.Close()
+			h.ServeHTTP(gw, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestLog logs one line per request with the cache and job-board
+// counter deltas it caused (approximate under concurrency — the counters
+// are global). Lease long-polls are skipped: an idle fleet would flood the
+// log with empty polls.
+func withRequestLog(lg *log.Logger, c *Coordinator, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs/lease" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		cacheBefore := harness.CacheStats()
+		var distBefore DistStats
+		if c != nil {
+			distBefore = c.Stats()
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		cacheAfter := harness.CacheStats()
+		line := fmt.Sprintf("%s %s %d %s hits=+%d misses=+%d",
+			r.Method, r.URL.RequestURI(), rec.status,
+			time.Since(start).Round(time.Millisecond),
+			cacheAfter.Hits-cacheBefore.Hits, cacheAfter.Misses-cacheBefore.Misses)
+		if c != nil {
+			distAfter := c.Stats()
+			line += fmt.Sprintf(" remote=+%d local=+%d shared=+%d",
+				distAfter.RemoteCompleted-distBefore.RemoteCompleted,
+				distAfter.LocalRuns-distBefore.LocalRuns,
+				distAfter.SharedJobs-distBefore.SharedJobs)
+		}
+		lg.Print(line)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

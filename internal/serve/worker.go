@@ -1,0 +1,272 @@
+// worker.go is the pull half of distributed sweep execution: a loop that
+// leases jobs from a coordinator, runs them through the same memoized
+// RunJobs path a local sweep uses (so a worker answers from its own result
+// cache first and simulates only jobs it has never seen), and posts
+// CRC-framed results back.
+//
+// The worker trusts nothing about the wire: every leased job is decoded,
+// its content hash recomputed from the DECODED form, and compared against
+// the hash it was leased under — a codec drift or corrupt lease turns into
+// a returned lease (the coordinator runs the job itself), never into a
+// result stored under the wrong key.
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pifsrec/internal/harness"
+	"pifsrec/internal/memo"
+)
+
+// WorkerConfig configures one pull worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	Coordinator string
+	// ID names the worker in leases, logs, and /v1/jobs/status; default
+	// hostname-pid.
+	ID string
+	// Store is the worker's local result cache; nil uses a process-lifetime
+	// in-memory store. A disk-backed store (memo.Open) makes warm
+	// distributed sweeps re-simulate nothing across worker restarts.
+	Store *memo.Store
+	// Runner executes leased jobs; nil uses a GOMAXPROCS-wide pool.
+	Runner *harness.Runner
+	// LeaseMax is how many jobs to lease per poll (default 4; the
+	// coordinator caps at 16).
+	LeaseMax int
+	// Poll bounds one idle long-poll at the coordinator (default 1s).
+	Poll time.Duration
+	// Log receives per-job lines; nil silences them.
+	Log *log.Logger
+	// MaxJobs stops the worker after completing this many jobs (0 = run
+	// until the context ends). Tests use it to model a worker that dies.
+	MaxJobs int
+}
+
+func (w WorkerConfig) withDefaults() WorkerConfig {
+	if w.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		w.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if w.Store == nil {
+		w.Store = memo.InMemory()
+	}
+	if w.Runner == nil {
+		w.Runner = harness.NewRunner(0)
+	}
+	if w.LeaseMax < 1 {
+		w.LeaseMax = 4
+	}
+	if w.Poll <= 0 {
+		w.Poll = time.Second
+	}
+	return w
+}
+
+// RunWorker pull-loops against the coordinator until ctx ends (or MaxJobs
+// completions). Transient coordinator errors back off and retry; the only
+// error return is a context cancellation, so a fleet survives coordinator
+// restarts.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg = cfg.withDefaults()
+	base := strings.TrimRight(cfg.Coordinator, "/")
+	// One client for the whole loop: connection reuse (keep-alive) makes
+	// the lease/result round-trips cheap, and the transport transparently
+	// asks for and decompresses gzip responses.
+	client := &http.Client{}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			cfg.Log.Printf(format, args...)
+		}
+	}
+	logf("worker %s: pulling from %s (cache: %s)", cfg.ID, base, storeDesc(cfg.Store))
+
+	jobsDone := 0
+	backoff := 100 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		leases, err := requestLeases(ctx, client, base, cfg)
+		if err != nil {
+			logf("worker %s: lease poll failed: %v (retrying in %v)", cfg.ID, err, backoff)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		for _, l := range leases {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			runLease(ctx, client, base, cfg, l, logf)
+			jobsDone++
+			if cfg.MaxJobs > 0 && jobsDone >= cfg.MaxJobs {
+				logf("worker %s: done after %d jobs", cfg.ID, jobsDone)
+				return nil
+			}
+		}
+	}
+}
+
+func storeDesc(st *memo.Store) string {
+	if st.Dir() == "" {
+		return "memory-only"
+	}
+	return st.Dir()
+}
+
+func requestLeases(ctx context.Context, client *http.Client, base string, cfg WorkerConfig) ([]leaseWire, error) {
+	body, _ := json.Marshal(leaseRequest{
+		Worker: cfg.ID,
+		Max:    cfg.LeaseMax,
+		WaitMS: cfg.Poll.Milliseconds(),
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("lease: status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var out struct {
+		Leases []leaseWire `json:"leases"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("lease: decoding response: %w", err)
+	}
+	return out.Leases, nil
+}
+
+// runLease executes one leased job and posts the result (or returns the
+// lease on any local failure).
+func runLease(ctx context.Context, client *http.Client, base string, cfg WorkerConfig, l leaseWire, logf func(string, ...any)) {
+	start := time.Now()
+	want, err := parseHash(l.Hash)
+	if err != nil {
+		logf("worker %s: lease %d carries %v; returning", cfg.ID, l.Lease, err)
+		postFail(ctx, client, base, cfg.ID, l)
+		return
+	}
+	job, err := harness.DecodeJob(l.Job)
+	if err != nil {
+		logf("worker %s: lease %d (%s): undecodable job: %v; returning", cfg.ID, l.Lease, l.Hash[:12], err)
+		postFail(ctx, client, base, cfg.ID, l)
+		return
+	}
+	got, err := job.Hash()
+	if err != nil || got != want {
+		// The decoded job does not reproduce the leased identity: codec
+		// drift or a mixed-version fleet. Running it would compute SOME
+		// result, but not the one this hash names — refuse.
+		logf("worker %s: lease %d hash mismatch (want %s); returning", cfg.ID, l.Lease, l.Hash[:12])
+		postFail(ctx, client, base, cfg.ID, l)
+		return
+	}
+
+	missesBefore := cfg.Store.Stats().Misses
+	res := cfg.Runner.RunJobsLocal(cfg.Store, []harness.Job{job})[0]
+	cached := cfg.Store.Stats().Misses == missesBefore
+
+	payload, err := harness.EncodeJobResult(res)
+	if err != nil {
+		logf("worker %s: lease %d (%s): encoding result: %v; returning", cfg.ID, l.Lease, l.Hash[:12], err)
+		postFail(ctx, client, base, cfg.ID, l)
+		return
+	}
+	status, err := postResult(ctx, client, base, cfg.ID, l, memo.EncodeFrame(want, payload), cached)
+	how := "simulated"
+	if cached {
+		how = "cache hit"
+	}
+	if err != nil {
+		logf("worker %s: job %s %s in %v, but result post failed: %v", cfg.ID, l.Hash[:12], how, time.Since(start).Round(time.Millisecond), err)
+		return
+	}
+	logf("worker %s: job %s %s in %v (%s)", cfg.ID, l.Hash[:12], how, time.Since(start).Round(time.Millisecond), status)
+}
+
+// gzipThreshold is the body size above which posts are gzip-compressed.
+// Result payloads are JSON counters (compresses ~4x); tiny ones aren't
+// worth the CPU.
+const gzipThreshold = 1 << 10
+
+func postResult(ctx context.Context, client *http.Client, base, workerID string, l leaseWire, frame []byte, cached bool) (string, error) {
+	cachedFlag := "0"
+	if cached {
+		cachedFlag = "1"
+	}
+	url := fmt.Sprintf("%s/v1/jobs/result?hash=%s&lease=%d&worker=%s&cached=%s",
+		base, l.Hash, l.Lease, workerID, cachedFlag)
+	var body io.Reader = bytes.NewReader(frame)
+	encoding := ""
+	if len(frame) >= gzipThreshold {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		if _, err := gz.Write(frame); err == nil && gz.Close() == nil {
+			body = &buf
+			encoding = "gzip"
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status string `json:"status"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+		out.Status = resp.Status
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusGone {
+		return "", fmt.Errorf("result post: status %d (%s)", resp.StatusCode, out.Status)
+	}
+	return out.Status, nil
+}
+
+func postFail(ctx context.Context, client *http.Client, base, workerID string, l leaseWire) {
+	url := fmt.Sprintf("%s/v1/jobs/fail?hash=%s&lease=%d&worker=%s", base, l.Hash, l.Lease, workerID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,23 +1,26 @@
 package pifsrec
 
-// TestWriteBenchSnapshot regenerates BENCH_9.json, the machine-readable
+// TestWriteBenchSnapshot regenerates BENCH_10.json, the machine-readable
 // perf snapshot of the simulator itself (event-kernel throughput, request-
 // path allocation behavior, sharded-kernel scaling, placement-matrix
 // wall-clocks, figure wall-clocks, result-cache memoization wall-clocks,
-// vectorized-math kernels, numasim model parity, open-loop latency-sweep
-// tail matrix). It only runs when explicitly requested, because it spends
-// bench time:
+// distributed-sweep wall-clocks, vectorized-math kernels, numasim model
+// parity, open-loop latency-sweep tail matrix). It only runs when
+// explicitly requested, because it spends bench time:
 //
 //	BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m .
 //
-// The committed BENCH_9.json records the numbers behind ROADMAP.md's perf
+// The committed BENCH_10.json records the numbers behind ROADMAP.md's perf
 // trajectory; regenerate it when landing a performance PR.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -31,6 +34,7 @@ import (
 	"pifsrec/internal/memo"
 	"pifsrec/internal/numasim"
 	"pifsrec/internal/scenario"
+	"pifsrec/internal/serve"
 	"pifsrec/internal/sim"
 	"pifsrec/internal/trace"
 	"pifsrec/internal/vecmath"
@@ -100,6 +104,22 @@ type benchSnapshot struct {
 		HashNsPerConfig  float64            `json:"hash_ns_per_config"`
 		StoreRoundTripNs float64            `json:"store_roundtrip_ns_per_entry"`
 	} `json:"memo"`
+	// Dist is distributed sweep execution: per experiment, the local
+	// single-process wall-clock vs a coordinator with two in-process pull
+	// workers, cold (workers simulate everything) and warm (same worker
+	// caches, fresh coordinator cache — every job answers as a remote cache
+	// hit, re-simulating nothing). One box, so cold distribution measures
+	// pure overhead (lease/post round-trips, framing, gzip), not speedup.
+	Dist map[string]distCell `json:"dist"`
+}
+
+type distCell struct {
+	LocalWallMs    float64 `json:"local_wall_ms"`
+	DistColdWallMs float64 `json:"dist_cold_wall_ms"`
+	DistWarmWallMs float64 `json:"dist_warm_wall_ms"`
+	Jobs           int64   `json:"jobs"`
+	WarmCacheHits  int64   `json:"warm_remote_cache_hits"`
+	WarmSimulated  int64   `json:"warm_remote_simulated"`
 }
 
 type latencyCell struct {
@@ -145,11 +165,11 @@ func cpuModel() string {
 
 func TestWriteBenchSnapshot(t *testing.T) {
 	if os.Getenv("BENCH_SNAPSHOT") == "" {
-		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_9.json")
+		t.Skip("set BENCH_SNAPSHOT=1 to regenerate BENCH_10.json")
 	}
 
 	var snap benchSnapshot
-	snap.PR = 9
+	snap.PR = 10
 	snap.Command = "BENCH_SNAPSHOT=1 go test -run TestWriteBenchSnapshot -timeout 30m ."
 	snap.Go = runtime.Version()
 	snap.CPU = cpuModel()
@@ -441,13 +461,87 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	})
 	snap.Memo.StoreRoundTripNs = float64(rr.NsPerOp())
 
+	// Distributed sweeps: coordinator + two in-process pull workers over a
+	// loopback HTTP server, against the local single-process baseline.
+	snap.Dist = map[string]distCell{}
+	for _, id := range []string{"fig12a", "fig13a"} {
+		prevStore := harness.SetStore(nil)
+		start := time.Now()
+		if err := harness.Run(id, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		local := time.Since(start)
+		harness.SetStore(prevStore)
+
+		// Both workers share one persistent store (a shared cache volume):
+		// the warm run then answers every job from cache no matter which
+		// worker wins each lease, so dist_warm_wall_ms is the pure
+		// distribution overhead (lease + wire + gather), zero simulation.
+		shared := memo.InMemory()
+		workerStores := []*memo.Store{shared, shared}
+		distRun := func() (float64, serve.DistStats) {
+			c := serve.NewCoordinator(serve.CoordinatorConfig{
+				LeaseTTL:    10 * time.Second,
+				ClaimBudget: 10 * time.Second,
+			})
+			prevStore := harness.SetStore(memo.InMemory())
+			prevDist := c.Install()
+			srv := httptest.NewServer(serve.Handler(serve.Options{Coordinator: c}))
+			ctx, cancel := context.WithCancel(context.Background())
+			dones := make([]chan struct{}, len(workerStores))
+			for i, st := range workerStores {
+				done := make(chan struct{})
+				dones[i] = done
+				go func() {
+					defer close(done)
+					serve.RunWorker(ctx, serve.WorkerConfig{
+						Coordinator: srv.URL,
+						ID:          fmt.Sprintf("bench-w%d", i),
+						Store:       st,
+						Poll:        50 * time.Millisecond,
+					})
+				}()
+			}
+			for c.Stats().LiveWorkers < len(workerStores) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			start := time.Now()
+			resp, err := http.Get(srv.URL + "/v1/run?id=" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			wall := time.Since(start)
+			cancel()
+			for _, d := range dones {
+				<-d
+			}
+			srv.Close()
+			harness.SetStore(prevStore)
+			harness.SetDistributor(prevDist)
+			return float64(wall.Nanoseconds()) / 1e6, c.Stats()
+		}
+		cold, _ := distRun()
+		warm, warmStats := distRun()
+		snap.Dist[id] = distCell{
+			LocalWallMs:    float64(local.Nanoseconds()) / 1e6,
+			DistColdWallMs: cold,
+			DistWarmWallMs: warm,
+			Jobs:           warmStats.Published,
+			WarmCacheHits:  warmStats.RemoteCacheHits,
+			WarmSimulated:  warmStats.RemoteSimulated,
+		}
+	}
+
 	out, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_9.json", append(out, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_10.json", append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fmt.Printf("wrote BENCH_9.json: %.1fM events/sec, warm fig13a %.1fx over cold\n",
-		snap.EventKernel.EventsPerSec/1e6, snap.Memo.WarmSpeedup["fig13a"])
+	fmt.Printf("wrote BENCH_10.json: %.1fM events/sec, warm fig13a %.1fx over cold, dist fig13a %.0f/%.0f/%.0f ms local/cold/warm\n",
+		snap.EventKernel.EventsPerSec/1e6, snap.Memo.WarmSpeedup["fig13a"],
+		snap.Dist["fig13a"].LocalWallMs, snap.Dist["fig13a"].DistColdWallMs, snap.Dist["fig13a"].DistWarmWallMs)
 }
